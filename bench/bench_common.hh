@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared plumbing for the figure benches: run the whole suite against
+ * a set of machine configurations and tabulate speedups over the
+ * baseline superscalar.
+ */
+
+#ifndef DMT_BENCH_BENCH_COMMON_HH
+#define DMT_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/strutil.hh"
+#include "exp/experiments.hh"
+#include "exp/report.hh"
+#include "exp/runner.hh"
+#include "workloads/workloads.hh"
+
+namespace dmt
+{
+
+/** One machine column in a speedup table. */
+struct BenchColumn
+{
+    std::string name;
+    SimConfig cfg;
+};
+
+/**
+ * Run every suite workload on the baseline and on each column's
+ * machine; fill @p rep with percentage speedups and an average row.
+ * Returns the per-column, per-workload results for follow-up printing.
+ */
+inline std::map<std::string, std::vector<RunResult>>
+speedupTable(Report &rep, const std::vector<BenchColumn> &columns,
+             const SimConfig &base_cfg = exp::baseline())
+{
+    std::vector<std::string> headers{"workload"};
+    for (const auto &c : columns)
+        headers.push_back(c.name);
+    rep.columns(headers);
+
+    std::map<std::string, std::vector<RunResult>> results;
+    for (const WorkloadInfo &w : workloadSuite()) {
+        const RunResult base = runWorkload(base_cfg, w.name);
+        std::vector<double> row;
+        for (const auto &c : columns) {
+            const RunResult r = runWorkload(c.cfg, w.name);
+            row.push_back(speedupPct(base, r));
+            results[c.name].push_back(r);
+        }
+        rep.row(w.name, row);
+        std::fprintf(stderr, ".");
+        std::fflush(stderr);
+    }
+    std::fprintf(stderr, "\n");
+    rep.averageRow();
+    return results;
+}
+
+} // namespace dmt
+
+#endif // DMT_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Section 4.4 reproduction: the trace buffer storage/bandwidth cost
+ * arithmetic.  The paper argues a 6-thread, 200-instructions-per-thread
+ * configuration needs ~19KB of instruction-queue + data-array storage,
+ * that the instruction queue can be single ported, and that 4-way
+ * interleaving with 3-deep write queues absorbs the data-array write
+ * bandwidth.  This bench reproduces the arithmetic and validates the
+ * bank-conflict claim with a Monte-Carlo writeback trace.
+ */
+
+#include <cstdio>
+
+#include "common/rng.hh"
+#include "common/strutil.hh"
+
+int
+main()
+{
+    using namespace dmt;
+
+    std::printf("\n== Section 4.4: trace buffer cost arithmetic\n");
+
+    const int threads = 6;
+    const int insts_per_thread = 200;
+    const int bytes_result = 8;   // result + tag state (paper: 8B)
+    const int bytes_inst = 4;
+    const int bytes_ctrl = 4;     // operand mappings, LSQ ids, ...
+
+    const int total_insts = threads * insts_per_thread;
+    const int total_bytes =
+        total_insts * (bytes_result + bytes_inst + bytes_ctrl);
+    std::printf("  capacity: %d threads x %d insts = %d entries\n",
+                threads, insts_per_thread, total_insts);
+    std::printf("  storage:  %d x (%d+%d+%d) bytes = %.1f KB "
+                "(paper: ~19KB)\n",
+                total_insts, bytes_result, bytes_inst, bytes_ctrl,
+                total_bytes / 1024.0);
+
+    // Load/store queue sizing rule: each at least 1/4 of a trace buffer.
+    std::printf("  LSQ rule: lq = sq = tb/4 = %d entries per thread\n",
+                insts_per_thread / 4);
+
+    // Data-array write bandwidth: every issued instruction except
+    // branches and stores writes a result.  Model a 4-way interleaved
+    // single-write-port array with a 3-deep write queue per bank and
+    // measure dropped (conflicting) writes over a synthetic writeback
+    // trace at the paper's issue rates.
+    std::printf("\n== Data array interleaving (Monte-Carlo)\n");
+    for (const int banks : {1, 2, 4}) {
+        for (const int queue_depth : {0, 1, 3}) {
+            Rng rng(0xC057u);
+            int occupancy[8] = {0};
+            u64 conflicts = 0;
+            u64 writes = 0;
+            const int cycles = 200000;
+            for (int cyc = 0; cyc < cycles; ++cyc) {
+                // Each bank drains one write per cycle.
+                for (int b = 0; b < banks; ++b)
+                    if (occupancy[b] > 0)
+                        --occupancy[b];
+                // ~2.8 results written back per cycle (4-wide issue,
+                // minus branches/stores), to consecutive entry ids.
+                const int n = static_cast<int>(rng.range(1, 4));
+                for (int i = 0; i < n; ++i) {
+                    ++writes;
+                    const int bank =
+                        static_cast<int>(rng.below(
+                            static_cast<u64>(banks)));
+                    if (occupancy[bank] <= queue_depth)
+                        ++occupancy[bank];
+                    else
+                        ++conflicts;
+                }
+            }
+            std::printf("  banks=%d queue=%d : %6.3f%% writes stall "
+                        "(paper: 4 banks + 3-deep queues eliminate "
+                        "most conflicts)\n",
+                        banks, queue_depth,
+                        100.0 * static_cast<double>(conflicts)
+                            / static_cast<double>(writes));
+        }
+    }
+
+    std::printf("\n== Instruction queue porting\n");
+    std::printf("  single read/write port suffices: blocks are written "
+                "at fetch and read at recovery, never simultaneously "
+                "(modeled by recovery_dispatch_stall=1)\n");
+    return 0;
+}

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Figure 4: performance vs. number of threads.  DMT with 2 fetch ports
+ * (two rename units), unlimited execution units, 128-entry window and
+ * 500-instruction trace buffers, at 1..8 thread contexts; percentage
+ * speedup over the 4-wide, 128-window baseline superscalar.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace dmt;
+    Report rep(
+        "Figure 4: speedup vs number of threads "
+        "(2 fetch ports, unlimited execution units)",
+        "significant gains up to 6 threads, little above; >35% average "
+        "at 8 threads; anomalies possible from sub-optimal thread "
+        "selection (paper saw them on li/m88ksim)");
+
+    std::vector<BenchColumn> cols;
+    for (int threads : {2, 4, 6, 8})
+        cols.push_back({strprintf("%dT", threads),
+                        exp::fig4Dmt(threads)});
+    speedupTable(rep, cols);
+    rep.print();
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 6: a 2-fetch-port DMT processor with realistic execution
+ * resources (4 ALUs with 2 shared by address generation, 1 mul/div,
+ * 2 DCache ports; latencies 1/3/20, 3-cycle loads) compared to the
+ * ideal machine with unlimited units.  Speedups are computed over the
+ * baseline with the matching execution-resource model, so the columns
+ * isolate what the FU limits cost DMT itself.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace dmt;
+    Report rep(
+        "Figure 6: realistic vs ideal execution units (2 fetch ports)",
+        "paper: very little drop in speedup from the ideal machine");
+
+    std::vector<std::string> headers{"workload", "4T-real", "4T-ideal",
+                                     "6T-real", "6T-ideal"};
+    rep.columns(headers);
+
+    for (const WorkloadInfo &w : workloadSuite()) {
+        const RunResult base_real =
+            runWorkload(exp::baseline(true), w.name);
+        const RunResult base_ideal =
+            runWorkload(exp::baseline(false), w.name);
+        std::vector<double> row;
+        for (int threads : {4, 6}) {
+            const RunResult real =
+                runWorkload(exp::fig6Dmt(threads, true), w.name);
+            const RunResult ideal =
+                runWorkload(exp::fig6Dmt(threads, false), w.name);
+            row.push_back(speedupPct(base_real, real));
+            row.push_back(speedupPct(base_ideal, ideal));
+        }
+        rep.row(w.name, row);
+        std::fprintf(stderr, ".");
+        std::fflush(stderr);
+    }
+    std::fprintf(stderr, "\n");
+    rep.averageRow();
+    rep.print();
+    return 0;
+}

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Figure 7: performance impact of the trace buffer size on a 6-thread
+ * processor.  The paper finds that ~200 instructions per thread nearly
+ * saturates performance (measured thread sizes were 50-130).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace dmt;
+    Report rep(
+        "Figure 7: speedup vs trace buffer size (6 threads, 2 ports)",
+        "'200 instructions per thread' almost achieves maximum "
+        "performance; average thread size 50-130");
+
+    std::vector<BenchColumn> cols;
+    for (int tb : {25, 50, 100, 200, 500})
+        cols.push_back({strprintf("tb%d", tb), exp::fig7Dmt(tb)});
+    speedupTable(rep, cols);
+    rep.print();
+    return 0;
+}

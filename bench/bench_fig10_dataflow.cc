@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Figure 10: the dataflow (last-modifier) predictor's contribution on
+ * a 4-thread processor — speedup with value prediction only versus
+ * value plus dataflow prediction.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace dmt;
+    Report rep(
+        "Figure 10: value prediction only vs value + dataflow "
+        "prediction (4 threads, 2 ports)",
+        "dataflow prediction promptly supplies procedure-modified "
+        "inputs; it adds speedup on the call-heavy benchmarks");
+
+    std::vector<BenchColumn> cols = {
+        {"value-only", exp::fig10Dmt(false)},
+        {"value+df", exp::fig10Dmt(true)},
+    };
+    speedupTable(rep, cols);
+    rep.print();
+    return 0;
+}

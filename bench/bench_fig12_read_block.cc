@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Figure 12: speedup vs. the trace buffer instruction-queue read block
+ * size during recovery (2, 4 or 6 entries per cycle, plus an ideal
+ * queue with unbounded read bandwidth).  The paper concludes the
+ * required read bandwidth is modest.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace dmt;
+    Report rep(
+        "Figure 12: speedup vs recovery read block size (4 threads)",
+        "block size 4 is close to the ideal queue — recovery read "
+        "bandwidth requirements are not excessive");
+
+    std::vector<BenchColumn> cols;
+    for (int blk : {2, 4, 6})
+        cols.push_back({strprintf("block%d", blk), exp::fig12Dmt(blk)});
+    cols.push_back({"ideal", exp::fig12Dmt(0)});
+    speedupTable(rep, cols);
+    rep.print();
+    return 0;
+}

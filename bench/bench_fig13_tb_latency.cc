@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Figure 13: impact of the trace buffer (recovery startup) latency.
+ * With a pipelined walk the latency is paid once per recovery
+ * sequence, so performance is tolerant of a slow second-level buffer.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace dmt;
+    Report rep(
+        "Figure 13: speedup vs trace buffer latency (4 threads)",
+        "good tolerance: the latency is incurred once at the start of "
+        "each recovery sequence");
+
+    std::vector<BenchColumn> cols;
+    for (int lat : {2, 4, 8, 16})
+        cols.push_back({strprintf("lat%d", lat), exp::fig13Dmt(lat)});
+    speedupTable(rep, cols);
+    rep.print();
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Thread statistics quoted in the paper's text (Section 4.1): average
+ * thread sizes (paper: 50-130 retired instructions), speculative
+ * overlap, context occupancy, spawn/join/squash accounting, and the
+ * fraction of speculative-thread instructions re-dispatched by
+ * recovery (paper: ~30%).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace dmt;
+    Report rep(
+        "Thread-level statistics on the 6-thread, 2-port machine",
+        "paper: thread sizes 50-130; ~30% of speculative instructions "
+        "redispatched from the trace buffer");
+    rep.columns({"workload", "thr-size", "overlap%", "contexts",
+                 "join%", "redispatch%"});
+
+    for (const WorkloadInfo &w : workloadSuite()) {
+        const RunResult r = runWorkload(exp::fig89Dmt(), w.name);
+        const DmtStats &s = r.stats;
+        const double spawned =
+            std::max<u64>(s.threads_spawned.value(), 1);
+        rep.row(w.name,
+                {s.thread_size.mean(),
+                 100.0 * s.thread_overlap.mean(),
+                 s.active_threads.mean(),
+                 100.0 * s.threads_joined.value() / spawned,
+                 100.0 * s.recovery_dispatches.value()
+                     / std::max<u64>(s.retired.value(), 1)});
+        std::fprintf(stderr, ".");
+        std::fflush(stderr);
+    }
+    std::fprintf(stderr, "\n");
+    rep.averageRow();
+    rep.print();
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Command-line workload runner: pick a suite benchmark, a thread
+ * count, fetch ports and a retirement budget; prints the full
+ * statistics block.  The closest thing to the paper's simulator
+ * command line.
+ *
+ *     run_workload [workload] [threads] [ports] [max_retired]
+ *     run_workload gcc 6 2 100000
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/stats.hh"
+#include "dmt/engine.hh"
+#include "workloads/workloads.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dmt;
+
+    const std::string name = argc > 1 ? argv[1] : "go";
+    const int threads = argc > 2 ? std::atoi(argv[2]) : 6;
+    const int ports = argc > 3 ? std::atoi(argv[3]) : 2;
+    const u64 budget = argc > 4
+        ? std::strtoull(argv[4], nullptr, 10) : 100000;
+
+    if (name == "list" || name == "--help") {
+        std::printf("workloads:\n");
+        for (const WorkloadInfo &w : workloadSuite())
+            std::printf("  %-10s mimics %-12s %s\n", w.name, w.mimics,
+                        w.character);
+        return 0;
+    }
+
+    SimConfig cfg =
+        threads > 1 ? SimConfig::dmt(threads, ports)
+                    : SimConfig::baseline();
+    cfg.max_retired = budget;
+
+    std::printf("running %s on %s ...\n", name.c_str(),
+                cfg.summary().c_str());
+    const Program prog = buildWorkload(name);
+    DmtEngine engine(cfg, prog);
+    engine.run();
+
+    if (!engine.goldenOk()) {
+        std::fprintf(stderr, "GOLDEN MISMATCH: %s\n",
+                     engine.goldenError().c_str());
+        return 1;
+    }
+
+    StatGroup group(name);
+    engine.stats().registerAll(group);
+    std::fputs(group.dump().c_str(), stdout);
+    std::printf("%s.ipc %38.3f\n", name.c_str(), engine.stats().ipc());
+    std::printf("golden check: PASS (%llu instructions verified)\n",
+                static_cast<unsigned long long>(
+                    engine.stats().retired.value()));
+    return 0;
+}

@@ -1,0 +1,42 @@
+#include "branch/btb.hh"
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+Btb::Btb(int index_bits_)
+    : index_bits(index_bits_)
+{
+    DMT_ASSERT(index_bits > 0 && index_bits <= 24, "bad btb size");
+    mask = (1u << index_bits) - 1;
+    entries.resize(1u << index_bits);
+}
+
+bool
+Btb::lookup(Addr pc, Addr *target) const
+{
+    const Entry &e = entries[indexOf(pc)];
+    if (!e.valid || e.tag != tagOf(pc))
+        return false;
+    *target = e.target;
+    return true;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    Entry &e = entries[indexOf(pc)];
+    e.valid = true;
+    e.tag = tagOf(pc);
+    e.target = target;
+}
+
+void
+Btb::reset()
+{
+    for (auto &e : entries)
+        e = Entry{};
+}
+
+} // namespace dmt

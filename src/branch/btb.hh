@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Branch target buffer for indirect jumps.  Direct targets are decoded
+ * from the instruction; the BTB supplies predicted targets for JR/JALR
+ * that are not returns (returns use the RAS).  Modeled "very large" per
+ * the paper's methodology so the baseline is not penalized.
+ */
+
+#ifndef DMT_BRANCH_BTB_HH
+#define DMT_BRANCH_BTB_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+/** Direct-mapped tagged target buffer. */
+class Btb
+{
+  public:
+    explicit Btb(int index_bits);
+
+    /**
+     * Look up a predicted target.
+     * @retval true on hit, writing the target through @p target.
+     */
+    bool lookup(Addr pc, Addr *target) const;
+
+    /** Install/refresh a target. */
+    void update(Addr pc, Addr target);
+
+    void reset();
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        u32 tag = 0;
+        Addr target = 0;
+    };
+
+    u32 indexOf(Addr pc) const { return (pc >> 2) & mask; }
+    u32 tagOf(Addr pc) const { return pc >> (2 + index_bits); }
+
+    int index_bits;
+    u32 mask;
+    std::vector<Entry> entries;
+};
+
+} // namespace dmt
+
+#endif // DMT_BRANCH_BTB_HH

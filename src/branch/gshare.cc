@@ -1,0 +1,49 @@
+#include "branch/gshare.hh"
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+Gshare::Gshare(int table_bits_, int history_bits_)
+    : table_bits(table_bits_), history_bits(history_bits_)
+{
+    DMT_ASSERT(table_bits > 0 && table_bits <= 24, "bad table size");
+    DMT_ASSERT(history_bits >= 0 && history_bits <= table_bits,
+               "history wider than table index");
+    table_mask = (1u << table_bits) - 1;
+    history_mask = history_bits == 0 ? 0 : (1u << history_bits) - 1;
+    table.assign(1u << table_bits, 1); // weakly not-taken
+}
+
+u32
+Gshare::index(Addr pc, u32 history) const
+{
+    return ((pc >> 2) ^ (history & history_mask)) & table_mask;
+}
+
+bool
+Gshare::predict(Addr pc, u32 history) const
+{
+    return table[index(pc, history)] >= 2;
+}
+
+void
+Gshare::update(Addr pc, u32 history, bool taken)
+{
+    u8 &ctr = table[index(pc, history)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else if (ctr > 0) {
+        --ctr;
+    }
+}
+
+void
+Gshare::reset()
+{
+    table.assign(table.size(), 1);
+}
+
+} // namespace dmt

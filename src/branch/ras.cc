@@ -1,0 +1,4 @@
+#include "branch/ras.hh"
+
+// Ras is fully inline; this translation unit exists so the header is
+// compiled standalone at least once (self-containment check).

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Return address stack.  Each thread owns one; a spawned thread receives
+ * a copy of its parent's RAS (paper Section 3.1.4).  The full stack is
+ * small enough that branch checkpoints copy it wholesale, giving exact
+ * repair on intra-thread branch misprediction.
+ */
+
+#ifndef DMT_BRANCH_RAS_HH
+#define DMT_BRANCH_RAS_HH
+
+#include <array>
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+/** Fixed-depth circular return address stack. */
+class Ras
+{
+  public:
+    static constexpr int kDepth = 32;
+
+    void
+    push(Addr ret)
+    {
+        top = (top + 1) % kDepth;
+        if (depth < kDepth)
+            ++depth;
+        stack[static_cast<size_t>(top)] = ret;
+    }
+
+    /** Pop the predicted return address; 0 when empty. */
+    Addr
+    pop()
+    {
+        if (depth == 0)
+            return 0;
+        const Addr ret = stack[static_cast<size_t>(top)];
+        top = (top + kDepth - 1) % kDepth;
+        --depth;
+        return ret;
+    }
+
+    /** Peek without popping; 0 when empty. */
+    Addr
+    peek() const
+    {
+        return depth == 0 ? 0 : stack[static_cast<size_t>(top)];
+    }
+
+    bool empty() const { return depth == 0; }
+    int size() const { return depth; }
+
+    void
+    clear()
+    {
+        top = kDepth - 1;
+        depth = 0;
+    }
+
+  private:
+    std::array<Addr, kDepth> stack{};
+    int top = kDepth - 1;
+    int depth = 0;
+};
+
+} // namespace dmt
+
+#endif // DMT_BRANCH_RAS_HH

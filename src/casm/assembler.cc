@@ -1,0 +1,866 @@
+#include "casm/assembler.hh"
+
+#include <functional>
+#include <optional>
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+#include "isa/regs.hh"
+
+namespace dmt
+{
+
+std::string
+AsmResult::errorText() const
+{
+    std::string out;
+    for (const auto &e : errors)
+        out += strprintf("line %d: %s\n", e.line, e.message.c_str());
+    return out;
+}
+
+namespace
+{
+
+/** Parsed form of one source statement. */
+struct Statement
+{
+    int line = 0;
+    std::vector<std::string> labels;
+    std::string mnemonic;            // lowercased; empty for label-only
+    std::vector<std::string> operands;
+    std::string stringArg;           // for .asciiz
+    bool hasStringArg = false;
+};
+
+/** Segment being filled. */
+enum class Segment { Text, Data };
+
+class AsmContext
+{
+  public:
+    AsmContext() = default;
+
+    Program program;
+    std::vector<AsmError> errors;
+    std::string entryLabel;
+
+    void
+    error(int line, std::string msg)
+    {
+        errors.push_back({line, std::move(msg)});
+    }
+
+    bool
+    lookup(const std::string &sym, Addr *out) const
+    {
+        auto it = program.symbols.find(sym);
+        if (it == program.symbols.end())
+            return false;
+        *out = it->second;
+        return true;
+    }
+};
+
+bool
+splitStatement(const std::string &raw, int line_no, Statement *out,
+               std::string *err)
+{
+    std::string s = raw;
+    // Strip comments, but not inside string literals.
+    bool in_str = false;
+    for (size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '"' && (i == 0 || s[i - 1] != '\\'))
+            in_str = !in_str;
+        if (!in_str && (s[i] == '#' || s[i] == ';')) {
+            s.resize(i);
+            break;
+        }
+    }
+
+    out->line = line_no;
+
+    std::string_view rest = trim(s);
+    // Peel off leading labels.
+    while (true) {
+        size_t colon = rest.find(':');
+        if (colon == std::string_view::npos)
+            break;
+        std::string_view head = trim(rest.substr(0, colon));
+        // A colon inside an operand list (unlikely) would have spaces or
+        // commas before it; only treat it as a label if head looks like
+        // an identifier.
+        bool ident = !head.empty();
+        for (char c : head) {
+            if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_'
+                  || c == '.')) {
+                ident = false;
+                break;
+            }
+        }
+        if (!ident)
+            break;
+        out->labels.emplace_back(head);
+        rest = trim(rest.substr(colon + 1));
+    }
+
+    if (rest.empty())
+        return true;
+
+    // Mnemonic is the first whitespace-delimited token.
+    size_t sp = rest.find_first_of(" \t");
+    out->mnemonic = toLower(rest.substr(0, sp));
+    if (sp == std::string_view::npos)
+        return true;
+    std::string_view ops = trim(rest.substr(sp));
+
+    if (out->mnemonic == ".asciiz") {
+        // Single quoted string operand.
+        if (ops.size() < 2 || ops.front() != '"' || ops.back() != '"') {
+            *err = ".asciiz expects a quoted string";
+            return false;
+        }
+        std::string unescaped;
+        for (size_t i = 1; i + 1 < ops.size(); ++i) {
+            char c = ops[i];
+            if (c == '\\' && i + 2 < ops.size()) {
+                ++i;
+                switch (ops[i]) {
+                  case 'n': c = '\n'; break;
+                  case 't': c = '\t'; break;
+                  case '0': c = '\0'; break;
+                  case '\\': c = '\\'; break;
+                  case '"': c = '"'; break;
+                  default: c = ops[i]; break;
+                }
+            }
+            unescaped.push_back(c);
+        }
+        out->stringArg = unescaped;
+        out->hasStringArg = true;
+        return true;
+    }
+
+    // Comma-separated operands; memory operands keep their parentheses.
+    std::string cur;
+    for (char c : ops) {
+        if (c == ',') {
+            auto t = trim(cur);
+            if (!t.empty())
+                out->operands.emplace_back(t);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    auto t = trim(cur);
+    if (!t.empty())
+        out->operands.emplace_back(t);
+    return true;
+}
+
+/** Value of an immediate operand: integer literal or symbol[+/-offset]. */
+bool
+evalImm(const AsmContext &ctx, std::string_view text, i64 *out)
+{
+    text = trim(text);
+    i64 v;
+    if (parseInt(text, &v)) {
+        *out = v;
+        return true;
+    }
+    // symbol, symbol+N, symbol-N
+    size_t pos = text.find_first_of("+-", 1);
+    std::string sym(trim(text.substr(0, pos)));
+    Addr base;
+    if (!ctx.lookup(sym, &base))
+        return false;
+    i64 off = 0;
+    if (pos != std::string_view::npos) {
+        if (!parseInt(text.substr(pos), &off))
+            return false;
+    }
+    *out = static_cast<i64>(base) + off;
+    return true;
+}
+
+/** Parse "imm(reg)" / "(reg)" / "imm" memory operands. */
+bool
+parseMemOperand(const AsmContext &ctx, std::string_view text, LogReg *base,
+                i64 *offset)
+{
+    text = trim(text);
+    size_t open = text.find('(');
+    if (open == std::string_view::npos) {
+        // Bare absolute address with $zero base.
+        if (!evalImm(ctx, text, offset))
+            return false;
+        *base = 0;
+        return true;
+    }
+    size_t close = text.rfind(')');
+    if (close == std::string_view::npos || close < open)
+        return false;
+    std::string_view off_text = trim(text.substr(0, open));
+    std::string_view reg_text = text.substr(open + 1, close - open - 1);
+    *offset = 0;
+    if (!off_text.empty() && !evalImm(ctx, off_text, offset))
+        return false;
+    return parseReg(reg_text, base);
+}
+
+/**
+ * Size in instructions of the expansion of a text statement.  Must agree
+ * exactly with emitText() below.
+ */
+int
+textSize(const Statement &st)
+{
+    const std::string &m = st.mnemonic;
+    if (m == "li") {
+        i64 v;
+        if (st.operands.size() == 2 && parseInt(st.operands[1], &v)
+            && v >= -32768 && v <= 0xFFFF) {
+            return 1;
+        }
+        return 2;
+    }
+    if (m == "la")
+        return 2;
+    if (m == "push" || m == "pop")
+        return 2;
+    return 1;
+}
+
+struct OpPattern
+{
+    Opcode op;
+    enum Kind
+    {
+        RRR,       // rd, rs, rt
+        RRI,       // rd, rs, imm
+        ShiftImm,  // rd, rs, shamt
+        Mem,       // reg, imm(base)
+        BranchRR,  // rs, rt, label
+        Jump,      // label
+        JumpReg,   // rs
+        Lui,       // rd, imm
+        None,      // no operands
+        OutOp,     // rs
+    } kind;
+};
+
+const std::map<std::string, OpPattern> &
+opPatterns()
+{
+    static const std::map<std::string, OpPattern> table = {
+        {"add", {Opcode::ADD, OpPattern::RRR}},
+        {"sub", {Opcode::SUB, OpPattern::RRR}},
+        {"and", {Opcode::AND, OpPattern::RRR}},
+        {"or", {Opcode::OR, OpPattern::RRR}},
+        {"xor", {Opcode::XOR, OpPattern::RRR}},
+        {"nor", {Opcode::NOR, OpPattern::RRR}},
+        {"sllv", {Opcode::SLLV, OpPattern::RRR}},
+        {"srlv", {Opcode::SRLV, OpPattern::RRR}},
+        {"srav", {Opcode::SRAV, OpPattern::RRR}},
+        {"slt", {Opcode::SLT, OpPattern::RRR}},
+        {"sltu", {Opcode::SLTU, OpPattern::RRR}},
+        {"mul", {Opcode::MUL, OpPattern::RRR}},
+        {"mulh", {Opcode::MULH, OpPattern::RRR}},
+        {"div", {Opcode::DIV, OpPattern::RRR}},
+        {"divu", {Opcode::DIVU, OpPattern::RRR}},
+        {"rem", {Opcode::REM, OpPattern::RRR}},
+        {"remu", {Opcode::REMU, OpPattern::RRR}},
+        {"sll", {Opcode::SLL, OpPattern::ShiftImm}},
+        {"srl", {Opcode::SRL, OpPattern::ShiftImm}},
+        {"sra", {Opcode::SRA, OpPattern::ShiftImm}},
+        {"addi", {Opcode::ADDI, OpPattern::RRI}},
+        {"andi", {Opcode::ANDI, OpPattern::RRI}},
+        {"ori", {Opcode::ORI, OpPattern::RRI}},
+        {"xori", {Opcode::XORI, OpPattern::RRI}},
+        {"slti", {Opcode::SLTI, OpPattern::RRI}},
+        {"sltiu", {Opcode::SLTIU, OpPattern::RRI}},
+        {"lui", {Opcode::LUI, OpPattern::Lui}},
+        {"lw", {Opcode::LW, OpPattern::Mem}},
+        {"lh", {Opcode::LH, OpPattern::Mem}},
+        {"lhu", {Opcode::LHU, OpPattern::Mem}},
+        {"lb", {Opcode::LB, OpPattern::Mem}},
+        {"lbu", {Opcode::LBU, OpPattern::Mem}},
+        {"sw", {Opcode::SW, OpPattern::Mem}},
+        {"sh", {Opcode::SH, OpPattern::Mem}},
+        {"sb", {Opcode::SB, OpPattern::Mem}},
+        {"beq", {Opcode::BEQ, OpPattern::BranchRR}},
+        {"bne", {Opcode::BNE, OpPattern::BranchRR}},
+        {"blt", {Opcode::BLT, OpPattern::BranchRR}},
+        {"bge", {Opcode::BGE, OpPattern::BranchRR}},
+        {"bltu", {Opcode::BLTU, OpPattern::BranchRR}},
+        {"bgeu", {Opcode::BGEU, OpPattern::BranchRR}},
+        {"j", {Opcode::J, OpPattern::Jump}},
+        {"jal", {Opcode::JAL, OpPattern::Jump}},
+        {"jr", {Opcode::JR, OpPattern::JumpReg}},
+        {"jalr", {Opcode::JALR, OpPattern::JumpReg}},
+        {"nop", {Opcode::NOP, OpPattern::None}},
+        {"halt", {Opcode::HALT, OpPattern::None}},
+        {"out", {Opcode::OUT, OpPattern::OutOp}},
+    };
+    return table;
+}
+
+class Emitter
+{
+  public:
+    Emitter(AsmContext &ctx_, bool final_pass)
+        : ctx(ctx_), final(final_pass)
+    {
+    }
+
+    /** Emit the expansion of @p st; returns false and records an error
+     *  on malformed statements. */
+    bool emitText(const Statement &st);
+
+  private:
+    AsmContext &ctx;
+    bool final;
+
+    Addr
+    pc() const
+    {
+        return Program::kTextBase
+            + static_cast<Addr>(ctx.program.text.size()) * 4;
+    }
+
+    void
+    push(Instruction inst)
+    {
+        ctx.program.text.push_back(inst);
+    }
+
+    bool
+    err(const Statement &st, std::string msg)
+    {
+        if (final)
+            ctx.error(st.line, std::move(msg));
+        // During pass 1 errors are suppressed — unresolved forward
+        // references are expected; sizes are still correct.
+        return false;
+    }
+
+    bool reg(const Statement &st, int i, LogReg *out);
+    bool imm(const Statement &st, int i, i64 *out);
+    bool wantOps(const Statement &st, size_t n);
+
+    bool emitReal(const Statement &st, const OpPattern &pat);
+    bool emitPseudo(const Statement &st);
+    void emitLi(LogReg rd, i64 value);
+};
+
+bool
+Emitter::wantOps(const Statement &st, size_t n)
+{
+    if (st.operands.size() != n) {
+        return err(st, strprintf("'%s' expects %zu operands, got %zu",
+                                 st.mnemonic.c_str(), n,
+                                 st.operands.size()));
+    }
+    return true;
+}
+
+bool
+Emitter::reg(const Statement &st, int i, LogReg *out)
+{
+    if (i >= static_cast<int>(st.operands.size()))
+        return err(st, "missing register operand");
+    if (!parseReg(st.operands[static_cast<size_t>(i)], out)) {
+        return err(st, strprintf("bad register '%s'",
+                                 st.operands[static_cast<size_t>(i)]
+                                     .c_str()));
+    }
+    return true;
+}
+
+bool
+Emitter::imm(const Statement &st, int i, i64 *out)
+{
+    if (i >= static_cast<int>(st.operands.size()))
+        return err(st, "missing immediate operand");
+    const std::string &text = st.operands[static_cast<size_t>(i)];
+    if (!evalImm(ctx, text, out)) {
+        // Unresolved forward reference: fine in pass 1.
+        if (!final) {
+            *out = 0;
+            return true;
+        }
+        return err(st, strprintf("cannot evaluate '%s'", text.c_str()));
+    }
+    return true;
+}
+
+void
+Emitter::emitLi(LogReg rd, i64 value)
+{
+    const u32 v = static_cast<u32>(value);
+    if (value >= -32768 && value <= 32767) {
+        push({Opcode::ADDI, rd, reg::zero, 0,
+              static_cast<i32>(value)});
+    } else if (value >= 0 && value <= 0xFFFF) {
+        push({Opcode::ORI, rd, reg::zero, 0, static_cast<i32>(value)});
+    } else {
+        push({Opcode::LUI, rd, 0, 0, static_cast<i32>(v >> 16)});
+        push({Opcode::ORI, rd, rd, 0, static_cast<i32>(v & 0xFFFF)});
+    }
+}
+
+bool
+Emitter::emitReal(const Statement &st, const OpPattern &pat)
+{
+    Instruction inst;
+    inst.op = pat.op;
+    switch (pat.kind) {
+      case OpPattern::RRR:
+        if (!wantOps(st, 3) || !reg(st, 0, &inst.rd)
+            || !reg(st, 1, &inst.rs) || !reg(st, 2, &inst.rt)) {
+            return false;
+        }
+        break;
+      case OpPattern::RRI: {
+          i64 v;
+          if (!wantOps(st, 3) || !reg(st, 0, &inst.rd)
+              || !reg(st, 1, &inst.rs) || !imm(st, 2, &v)) {
+              return false;
+          }
+          inst.imm = static_cast<i32>(v);
+          break;
+      }
+      case OpPattern::ShiftImm: {
+          i64 v;
+          if (!wantOps(st, 3) || !reg(st, 0, &inst.rd)
+              || !reg(st, 1, &inst.rs) || !imm(st, 2, &v)) {
+              return false;
+          }
+          if (v < 0 || v > 31)
+              return err(st, "shift amount out of range");
+          inst.imm = static_cast<i32>(v);
+          break;
+      }
+      case OpPattern::Mem: {
+          LogReg value_reg;
+          LogReg base;
+          i64 off;
+          if (!wantOps(st, 2) || !reg(st, 0, &value_reg))
+              return false;
+          if (!parseMemOperand(ctx, st.operands[1], &base, &off)) {
+              if (!final) {
+                  base = 0;
+                  off = 0;
+              } else {
+                  return err(st, strprintf("bad memory operand '%s'",
+                                           st.operands[1].c_str()));
+              }
+          }
+          if (final && (off < -32768 || off > 32767))
+              return err(st, "memory offset out of range");
+          inst.rs = base;
+          inst.imm = static_cast<i32>(off);
+          if (inst.isStore()) {
+              inst.rt = value_reg;
+          } else {
+              inst.rd = value_reg;
+          }
+          break;
+      }
+      case OpPattern::BranchRR: {
+          i64 target;
+          if (!wantOps(st, 3) || !reg(st, 0, &inst.rs)
+              || !reg(st, 1, &inst.rt) || !imm(st, 2, &target)) {
+              return false;
+          }
+          inst.imm = static_cast<i32>(static_cast<i64>(target)
+                                      - static_cast<i64>(pc()) - 4);
+          break;
+      }
+      case OpPattern::Jump: {
+          i64 target;
+          if (!wantOps(st, 1) || !imm(st, 0, &target))
+              return false;
+          inst.imm = static_cast<i32>(target);
+          if (inst.op == Opcode::JAL)
+              inst.rd = reg::ra;
+          break;
+      }
+      case OpPattern::JumpReg:
+        if (inst.op == Opcode::JALR) {
+            // jalr rs  (link in $ra)  or  jalr rd, rs
+            if (st.operands.size() == 1) {
+                if (!reg(st, 0, &inst.rs))
+                    return false;
+                inst.rd = reg::ra;
+            } else if (!wantOps(st, 2) || !reg(st, 0, &inst.rd)
+                       || !reg(st, 1, &inst.rs)) {
+                return false;
+            }
+        } else {
+            if (!wantOps(st, 1) || !reg(st, 0, &inst.rs))
+                return false;
+        }
+        break;
+      case OpPattern::Lui: {
+          i64 v;
+          if (!wantOps(st, 2) || !reg(st, 0, &inst.rd) || !imm(st, 1, &v))
+              return false;
+          if (final && (v < 0 || v > 0xFFFF))
+              return err(st, "lui immediate out of range");
+          inst.imm = static_cast<i32>(v & 0xFFFF);
+          break;
+      }
+      case OpPattern::None:
+        if (!wantOps(st, 0))
+            return false;
+        break;
+      case OpPattern::OutOp:
+        if (!wantOps(st, 1) || !reg(st, 0, &inst.rs))
+            return false;
+        break;
+    }
+    push(inst);
+    return true;
+}
+
+bool
+Emitter::emitPseudo(const Statement &st)
+{
+    const std::string &m = st.mnemonic;
+    if (m == "li") {
+        LogReg rd;
+        i64 v;
+        if (!wantOps(st, 2) || !reg(st, 0, &rd) || !imm(st, 1, &v))
+            return false;
+        // Symbolic values always use the wide form so that pass-1 sizing
+        // (which cannot resolve forward references) stays correct.
+        i64 literal;
+        if (parseInt(st.operands[1], &literal) && literal >= -32768
+            && literal <= 0xFFFF) {
+            emitLi(rd, v);
+        } else {
+            const u32 addr = static_cast<u32>(v);
+            push({Opcode::LUI, rd, 0, 0, static_cast<i32>(addr >> 16)});
+            push({Opcode::ORI, rd, rd, 0,
+                  static_cast<i32>(addr & 0xFFFF)});
+        }
+        return true;
+    }
+    if (m == "la") {
+        LogReg rd;
+        i64 v;
+        if (!wantOps(st, 2) || !reg(st, 0, &rd) || !imm(st, 1, &v))
+            return false;
+        const u32 addr = static_cast<u32>(v);
+        push({Opcode::LUI, rd, 0, 0, static_cast<i32>(addr >> 16)});
+        push({Opcode::ORI, rd, rd, 0, static_cast<i32>(addr & 0xFFFF)});
+        return true;
+    }
+    if (m == "move") {
+        LogReg rd;
+        LogReg rs;
+        if (!wantOps(st, 2) || !reg(st, 0, &rd) || !reg(st, 1, &rs))
+            return false;
+        push({Opcode::ADD, rd, rs, reg::zero, 0});
+        return true;
+    }
+    if (m == "not") {
+        LogReg rd;
+        LogReg rs;
+        if (!wantOps(st, 2) || !reg(st, 0, &rd) || !reg(st, 1, &rs))
+            return false;
+        push({Opcode::NOR, rd, rs, reg::zero, 0});
+        return true;
+    }
+    if (m == "neg") {
+        LogReg rd;
+        LogReg rs;
+        if (!wantOps(st, 2) || !reg(st, 0, &rd) || !reg(st, 1, &rs))
+            return false;
+        push({Opcode::SUB, rd, reg::zero, rs, 0});
+        return true;
+    }
+    if (m == "subi") {
+        LogReg rd;
+        LogReg rs;
+        i64 v;
+        if (!wantOps(st, 3) || !reg(st, 0, &rd) || !reg(st, 1, &rs)
+            || !imm(st, 2, &v)) {
+            return false;
+        }
+        push({Opcode::ADDI, rd, rs, 0, static_cast<i32>(-v)});
+        return true;
+    }
+    if (m == "b") {
+        i64 target;
+        if (!wantOps(st, 1) || !imm(st, 0, &target))
+            return false;
+        Instruction inst{Opcode::BEQ, 0, reg::zero, reg::zero, 0};
+        inst.imm = static_cast<i32>(target - static_cast<i64>(pc()) - 4);
+        push(inst);
+        return true;
+    }
+    if (m == "beqz" || m == "bnez" || m == "bltz" || m == "bgez"
+        || m == "bgtz" || m == "blez") {
+        LogReg rs;
+        i64 target;
+        if (!wantOps(st, 2) || !reg(st, 0, &rs) || !imm(st, 1, &target))
+            return false;
+        Instruction inst;
+        if (m == "beqz") {
+            inst = {Opcode::BEQ, 0, rs, reg::zero, 0};
+        } else if (m == "bnez") {
+            inst = {Opcode::BNE, 0, rs, reg::zero, 0};
+        } else if (m == "bltz") {
+            inst = {Opcode::BLT, 0, rs, reg::zero, 0};
+        } else if (m == "bgez") {
+            inst = {Opcode::BGE, 0, rs, reg::zero, 0};
+        } else if (m == "bgtz") {
+            inst = {Opcode::BLT, 0, reg::zero, rs, 0};
+        } else { // blez: rs <= 0  <=>  0 >= rs
+            inst = {Opcode::BGE, 0, reg::zero, rs, 0};
+        }
+        inst.imm = static_cast<i32>(target - static_cast<i64>(pc()) - 4);
+        push(inst);
+        return true;
+    }
+    if (m == "ret") {
+        if (!wantOps(st, 0))
+            return false;
+        push({Opcode::JR, 0, reg::ra, 0, 0});
+        return true;
+    }
+    if (m == "call") {
+        i64 target;
+        if (!wantOps(st, 1) || !imm(st, 0, &target))
+            return false;
+        push({Opcode::JAL, reg::ra, 0, 0, static_cast<i32>(target)});
+        return true;
+    }
+    if (m == "push") {
+        LogReg rs;
+        if (!wantOps(st, 1) || !reg(st, 0, &rs))
+            return false;
+        push({Opcode::ADDI, reg::sp, reg::sp, 0, -4});
+        push({Opcode::SW, 0, reg::sp, rs, 0});
+        return true;
+    }
+    if (m == "pop") {
+        LogReg rd;
+        if (!wantOps(st, 1) || !reg(st, 0, &rd))
+            return false;
+        push({Opcode::LW, rd, reg::sp, 0, 0});
+        push({Opcode::ADDI, reg::sp, reg::sp, 0, 4});
+        return true;
+    }
+    return err(st, strprintf("unknown mnemonic '%s'", m.c_str()));
+}
+
+bool
+Emitter::emitText(const Statement &st)
+{
+    auto it = opPatterns().find(st.mnemonic);
+    if (it != opPatterns().end())
+        return emitReal(st, it->second);
+    return emitPseudo(st);
+}
+
+} // namespace
+
+AsmResult
+assembleSource(std::string_view source)
+{
+    AsmResult result;
+    AsmContext ctx;
+
+    // Parse all lines once.
+    std::vector<Statement> stmts;
+    const auto lines = splitLines(source);
+    for (size_t i = 0; i < lines.size(); ++i) {
+        Statement st;
+        std::string perr;
+        if (!splitStatement(lines[i], static_cast<int>(i) + 1, &st,
+                            &perr)) {
+            ctx.error(static_cast<int>(i) + 1, perr);
+            continue;
+        }
+        if (!st.labels.empty() || !st.mnemonic.empty())
+            stmts.push_back(std::move(st));
+    }
+
+    // Pass 1: lay out addresses and define symbols.
+    {
+        Segment seg = Segment::Text;
+        Addr text_pc = Program::kTextBase;
+        Addr data_off = 0;
+        for (const auto &st : stmts) {
+            const Addr here = seg == Segment::Text
+                ? text_pc : Program::kDataBase + data_off;
+            for (const auto &label : st.labels) {
+                if (ctx.program.symbols.count(label)) {
+                    ctx.error(st.line, strprintf("duplicate label '%s'",
+                                                 label.c_str()));
+                } else {
+                    ctx.program.symbols[label] = here;
+                }
+            }
+            if (st.mnemonic.empty())
+                continue;
+            if (st.mnemonic == ".text") {
+                seg = Segment::Text;
+            } else if (st.mnemonic == ".data") {
+                seg = Segment::Data;
+            } else if (st.mnemonic == ".entry") {
+                if (st.operands.size() == 1)
+                    ctx.entryLabel = st.operands[0];
+                else
+                    ctx.error(st.line, ".entry expects one label");
+            } else if (st.mnemonic[0] == '.') {
+                if (seg != Segment::Data) {
+                    ctx.error(st.line, strprintf(
+                        "data directive '%s' outside .data",
+                        st.mnemonic.c_str()));
+                    continue;
+                }
+                if (st.mnemonic == ".word") {
+                    data_off += 4 * static_cast<Addr>(st.operands.size());
+                } else if (st.mnemonic == ".half") {
+                    data_off += 2 * static_cast<Addr>(st.operands.size());
+                } else if (st.mnemonic == ".byte") {
+                    data_off += static_cast<Addr>(st.operands.size());
+                } else if (st.mnemonic == ".space") {
+                    i64 n = 0;
+                    if (st.operands.size() != 1
+                        || !parseInt(st.operands[0], &n) || n < 0) {
+                        ctx.error(st.line, ".space expects a size");
+                    } else {
+                        data_off += static_cast<Addr>(n);
+                    }
+                } else if (st.mnemonic == ".align") {
+                    i64 n = 0;
+                    if (st.operands.size() != 1
+                        || !parseInt(st.operands[0], &n) || n <= 0) {
+                        ctx.error(st.line, ".align expects an alignment");
+                    } else {
+                        const Addr a = static_cast<Addr>(n);
+                        data_off = (data_off + a - 1) / a * a;
+                    }
+                } else if (st.mnemonic == ".asciiz") {
+                    data_off += static_cast<Addr>(st.stringArg.size()) + 1;
+                } else {
+                    ctx.error(st.line, strprintf("unknown directive '%s'",
+                                                 st.mnemonic.c_str()));
+                }
+            } else {
+                if (seg != Segment::Text) {
+                    ctx.error(st.line, "instruction outside .text");
+                    continue;
+                }
+                // Pass-1 sizing: emit into a scratch, or compute size.
+                text_pc += 4 * static_cast<Addr>(textSize(st));
+            }
+        }
+        // Fix label addresses: labels bound to data addresses already
+        // recorded relative to kDataBase during the walk above.
+    }
+
+    if (!ctx.errors.empty()) {
+        result.errors = ctx.errors;
+        return result;
+    }
+
+    // Pass 2: emit code and data.
+    {
+        Segment seg = Segment::Text;
+        Emitter emitter(ctx, true);
+        auto &data = ctx.program.data;
+        auto emit_scalar = [&](const Statement &st, int bytes) {
+            for (const auto &op : st.operands) {
+                i64 v;
+                if (!evalImm(ctx, op, &v)) {
+                    ctx.error(st.line, strprintf("bad data value '%s'",
+                                                 op.c_str()));
+                    v = 0;
+                }
+                for (int b = 0; b < bytes; ++b)
+                    data.push_back(static_cast<u8>(v >> (8 * b)));
+            }
+        };
+        for (const auto &st : stmts) {
+            if (st.mnemonic.empty())
+                continue;
+            if (st.mnemonic == ".text") {
+                seg = Segment::Text;
+            } else if (st.mnemonic == ".data") {
+                seg = Segment::Data;
+            } else if (st.mnemonic == ".entry") {
+                // handled in pass 1
+            } else if (st.mnemonic[0] == '.') {
+                if (st.mnemonic == ".word") {
+                    emit_scalar(st, 4);
+                } else if (st.mnemonic == ".half") {
+                    emit_scalar(st, 2);
+                } else if (st.mnemonic == ".byte") {
+                    emit_scalar(st, 1);
+                } else if (st.mnemonic == ".space") {
+                    i64 n = 0;
+                    parseInt(st.operands[0], &n);
+                    data.insert(data.end(), static_cast<size_t>(n), 0);
+                } else if (st.mnemonic == ".align") {
+                    i64 n = 1;
+                    parseInt(st.operands[0], &n);
+                    const Addr a = static_cast<Addr>(n);
+                    while (data.size() % a != 0)
+                        data.push_back(0);
+                } else if (st.mnemonic == ".asciiz") {
+                    for (char c : st.stringArg)
+                        data.push_back(static_cast<u8>(c));
+                    data.push_back(0);
+                }
+            } else if (seg == Segment::Text) {
+                const size_t before = ctx.program.text.size();
+                const int expected = textSize(st);
+                if (!emitter.emitText(st)) {
+                    // Keep layout identical to pass 1 even on error.
+                    while (ctx.program.text.size()
+                           < before + static_cast<size_t>(expected)) {
+                        ctx.program.text.push_back(makeNop());
+                    }
+                } else {
+                    DMT_ASSERT(ctx.program.text.size()
+                               == before + static_cast<size_t>(expected),
+                               "pass1/pass2 size mismatch for '%s'",
+                               st.mnemonic.c_str());
+                }
+            }
+        }
+    }
+
+    if (!ctx.entryLabel.empty()) {
+        Addr e;
+        if (ctx.lookup(ctx.entryLabel, &e))
+            ctx.program.entry = e;
+        else
+            ctx.error(0, strprintf("undefined entry label '%s'",
+                                   ctx.entryLabel.c_str()));
+    }
+
+    result.errors = ctx.errors;
+    result.ok = ctx.errors.empty();
+    if (result.ok)
+        result.program = std::move(ctx.program);
+    return result;
+}
+
+Program
+assembleOrDie(std::string_view source)
+{
+    AsmResult r = assembleSource(source);
+    if (!r.ok)
+        fatal("assembly failed:\n%s", r.errorText().c_str());
+    return std::move(r.program);
+}
+
+} // namespace dmt

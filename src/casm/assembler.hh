@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Two-pass textual assembler for the simulator ISA.
+ *
+ * Syntax summary:
+ *
+ *     # comment, ; comment
+ *             .text
+ *     main:   addi  $sp, $sp, -16
+ *             sw    $ra, 0($sp)
+ *             jal   fib
+ *             li    $t0, 0x12345678      # pseudo: lui+ori
+ *             la    $t1, table           # pseudo: lui+ori
+ *             move  $a0, $v0             # pseudo
+ *             beqz  $a0, done            # pseudo
+ *             b     loop                 # pseudo
+ *             ret                        # pseudo: jr $ra
+ *     done:   halt
+ *             .data
+ *     table:  .word 1, 2, 3
+ *             .half 7, 9
+ *             .byte 1
+ *             .space 64
+ *             .align 4
+ *             .asciiz "hello"
+ *
+ * The optional ".entry label" directive sets the start PC (default: the
+ * first text instruction).
+ */
+
+#ifndef DMT_CASM_ASSEMBLER_HH
+#define DMT_CASM_ASSEMBLER_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "casm/program.hh"
+
+namespace dmt
+{
+
+/** One assembly diagnostic. */
+struct AsmError
+{
+    int line;            ///< 1-based source line
+    std::string message;
+};
+
+/** Result of an assembly run. */
+struct AsmResult
+{
+    bool ok = false;
+    Program program;
+    std::vector<AsmError> errors;
+
+    /** All diagnostics joined, one per line. */
+    std::string errorText() const;
+};
+
+/** Assemble @p source into a program image. */
+AsmResult assembleSource(std::string_view source);
+
+/** Assemble, fatal()ing on any error — for known-good internal sources. */
+Program assembleOrDie(std::string_view source);
+
+} // namespace dmt
+
+#endif // DMT_CASM_ASSEMBLER_HH

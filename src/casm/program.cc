@@ -1,0 +1,32 @@
+#include "casm/program.hh"
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+const Instruction &
+Program::fetch(Addr pc) const
+{
+    static const Instruction halt = makeHalt();
+    if (!validTextAddr(pc))
+        return halt;
+    return text[(pc - kTextBase) / 4];
+}
+
+Addr
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        fatal("undefined symbol '%s'", name.c_str());
+    return it->second;
+}
+
+bool
+Program::hasSymbol(const std::string &name) const
+{
+    return symbols.count(name) != 0;
+}
+
+} // namespace dmt

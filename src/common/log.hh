@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Error/status reporting in the gem5 tradition: panic() for internal
+ * simulator bugs (aborts), fatal() for user/configuration errors (clean
+ * exit), warn()/inform() for non-fatal diagnostics.
+ */
+
+#ifndef DMT_COMMON_LOG_HH
+#define DMT_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace dmt
+{
+
+/** Severity levels accepted by the message sink. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Report an unrecoverable internal error (a simulator bug) and abort.
+ * Never returns.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error (bad configuration, bad input) and
+ * exit with status 1. Never returns.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious but survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Suppress warn()/inform() output (used by quiet benchmark runs). */
+void setLogQuiet(bool quiet);
+
+/** @return true when warn()/inform() are suppressed. */
+bool logQuiet();
+
+/** Implementation helper for DMT_ASSERT; never call directly. */
+[[noreturn]] void panicAssert(const char *cond, const char *file, int line,
+                              const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/**
+ * panic() unless @p cond holds.  Used for internal invariants that are
+ * cheap enough to keep on in release builds.
+ */
+#define DMT_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::dmt::panicAssert(#cond, __FILE__, __LINE__, "" __VA_ARGS__);  \
+        }                                                                   \
+    } while (0)
+
+} // namespace dmt
+
+#endif // DMT_COMMON_LOG_HH

@@ -1,0 +1,44 @@
+#include "common/rng.hh"
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+u64
+Rng::next64()
+{
+    state += 0x9e3779b97f4a7c15ull;
+    u64 z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+u64
+Rng::below(u64 bound)
+{
+    DMT_ASSERT(bound != 0, "Rng::below(0)");
+    return next64() % bound;
+}
+
+i64
+Rng::range(i64 lo, i64 hi)
+{
+    DMT_ASSERT(lo <= hi, "Rng::range lo > hi");
+    const u64 span = static_cast<u64>(hi - lo) + 1;
+    return lo + static_cast<i64>(span == 0 ? next64() : below(span));
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return static_cast<double>(next64() >> 11) * (1.0 / 9007199254740992.0)
+        < p;
+}
+
+} // namespace dmt

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (splitmix64 core) used by
+ * workload generators and property tests.  Not std::mt19937 so that
+ * sequences are stable across platforms and library versions.
+ */
+
+#ifndef DMT_COMMON_RNG_HH
+#define DMT_COMMON_RNG_HH
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+/**
+ * Splitmix64-based deterministic RNG.  Cheap, well distributed, and
+ * reproducible everywhere.
+ */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    u64 next64();
+
+    /** Next 32-bit value. */
+    u32 next32() { return static_cast<u32>(next64() >> 32); }
+
+    /** Uniform value in [0, bound) — bound must be nonzero. */
+    u64 below(u64 bound);
+
+    /** Uniform value in [lo, hi] inclusive. */
+    i64 range(i64 lo, i64 hi);
+
+    /** Bernoulli draw with probability @p p (0..1). */
+    bool chance(double p);
+
+  private:
+    u64 state;
+};
+
+} // namespace dmt
+
+#endif // DMT_COMMON_RNG_HH

@@ -1,0 +1,126 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+void
+Average::sample(double v)
+{
+    if (n == 0) {
+        lo = hi = v;
+    } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    sum += v;
+    ++n;
+}
+
+void
+Average::reset()
+{
+    sum = 0.0;
+    lo = hi = 0.0;
+    n = 0;
+}
+
+Histogram::Histogram(double lo_, double hi_, int nbuckets)
+    : lo(lo_), hi(hi_), buckets(static_cast<size_t>(nbuckets), 0)
+{
+    DMT_ASSERT(nbuckets > 0 && hi_ > lo_, "bad histogram shape");
+}
+
+void
+Histogram::sample(double v)
+{
+    const int n = numBuckets();
+    double frac = (v - lo) / (hi - lo);
+    int idx = static_cast<int>(frac * n);
+    idx = std::clamp(idx, 0, n - 1);
+    ++buckets[static_cast<size_t>(idx)];
+    ++total;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets.begin(), buckets.end(), 0);
+    total = 0;
+}
+
+double
+Histogram::bucketLow(int i) const
+{
+    return lo + (hi - lo) * i / numBuckets();
+}
+
+double
+Histogram::bucketHigh(int i) const
+{
+    return lo + (hi - lo) * (i + 1) / numBuckets();
+}
+
+std::string
+Histogram::toString() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (int i = 0; i < numBuckets(); ++i) {
+        if (i)
+            os << " ";
+        os << buckets[static_cast<size_t>(i)];
+    }
+    os << "] n=" << total;
+    return os.str();
+}
+
+StatGroup::StatGroup(std::string name)
+    : name_(std::move(name))
+{
+}
+
+void
+StatGroup::addCounter(const std::string &name, const Counter *c,
+                      const std::string &desc)
+{
+    counters.push_back({name, c, desc});
+}
+
+void
+StatGroup::addAverage(const std::string &name, const Average *a,
+                      const std::string &desc)
+{
+    averages.push_back({name, a, desc});
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    char line[256];
+    for (const auto &e : counters) {
+        std::snprintf(line, sizeof(line), "%s.%-32s %12llu  # %s\n",
+                      name_.c_str(), e.name.c_str(),
+                      static_cast<unsigned long long>(e.counter->value()),
+                      e.desc.c_str());
+        os << line;
+    }
+    for (const auto &e : averages) {
+        std::snprintf(line, sizeof(line),
+                      "%s.%-32s %12.3f  # %s (n=%llu min=%.1f max=%.1f)\n",
+                      name_.c_str(), e.name.c_str(), e.avg->mean(),
+                      e.desc.c_str(),
+                      static_cast<unsigned long long>(e.avg->count()),
+                      e.avg->min(), e.avg->max());
+        os << line;
+    }
+    return os.str();
+}
+
+} // namespace dmt

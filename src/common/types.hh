@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fundamental fixed-width type aliases used throughout the simulator.
+ */
+
+#ifndef DMT_COMMON_TYPES_HH
+#define DMT_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace dmt
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Byte address in the simulated machine's 32-bit address space. */
+using Addr = u32;
+
+/** Simulation time in cycles. */
+using Cycle = u64;
+
+/** Logical (architectural) register index, 0..31. */
+using LogReg = u8;
+
+/** Physical register index into the shared physical register file. */
+using PhysReg = i32;
+
+/** Sentinel for "no physical register". */
+constexpr PhysReg kNoPhysReg = -1;
+
+/** Hardware thread-context index. */
+using ThreadId = i32;
+
+/** Sentinel for "no thread". */
+constexpr ThreadId kNoThread = -1;
+
+/** Number of architectural integer registers. */
+constexpr int kNumLogRegs = 32;
+
+} // namespace dmt
+
+#endif // DMT_COMMON_TYPES_HH

@@ -1,0 +1,53 @@
+#include "dmt/dataflow_pred.hh"
+
+#include "common/bitutils.hh"
+#include "common/log.hh"
+
+namespace dmt
+{
+
+DataflowPredictor::DataflowPredictor(int entries)
+{
+    DMT_ASSERT(entries > 0 && isPowerOfTwo(static_cast<u64>(entries)),
+               "table size must be a power of two");
+    table.resize(static_cast<size_t>(entries));
+}
+
+size_t
+DataflowPredictor::index(Addr pc) const
+{
+    return (pc >> 2) & (table.size() - 1);
+}
+
+const DfEntry *
+DataflowPredictor::lookup(Addr start_pc) const
+{
+    const DfEntry &e = table[index(start_pc)];
+    if (!e.valid || e.start_pc != start_pc)
+        return nullptr;
+    return &e;
+}
+
+void
+DataflowPredictor::record(Addr start_pc, const std::vector<DfItem> &items)
+{
+    DfEntry &e = table[index(start_pc)];
+    e.valid = true;
+    e.start_pc = start_pc;
+    e.n = 0;
+    for (const DfItem &item : items) {
+        if (e.n >= DfEntry::kMaxItems)
+            break;
+        e.items[e.n++] = item;
+    }
+}
+
+void
+DataflowPredictor::clear(Addr start_pc)
+{
+    DfEntry &e = table[index(start_pc)];
+    if (e.valid && e.start_pc == start_pc)
+        e.valid = false;
+}
+
+} // namespace dmt

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Register dataflow predictor (paper Section 3.4).  A history buffer
+ * indexed by thread start address remembers which input registers were
+ * mispredicted the last time a thread ran, together with the low
+ * address bits of each register's *last modifier* — the prior-thread
+ * instruction that produced the correct live-out.  When the same thread
+ * is spawned again, instructions in predecessor threads whose PC
+ * matches a predicted last-modifier address are marked so their
+ * writeback updates the spawned thread's input register and starts a
+ * recovery sequence immediately, instead of waiting for the prior
+ * thread's final retirement.
+ */
+
+#ifndef DMT_DMT_DATAFLOW_PRED_HH
+#define DMT_DMT_DATAFLOW_PRED_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+/** One (input register, last-modifier address) prediction. */
+struct DfItem
+{
+    LogReg reg = 0;
+    u16 modpc_lo = 0; ///< low PC bits of the last modifier
+};
+
+/** Per-start-address history entry. */
+struct DfEntry
+{
+    bool valid = false;
+    Addr start_pc = 0;
+    int n = 0;
+    static constexpr int kMaxItems = 4;
+    DfItem items[kMaxItems];
+};
+
+/** Direct-mapped last-modifier history buffer. */
+class DataflowPredictor
+{
+  public:
+    explicit DataflowPredictor(int entries = 1024);
+
+    /** Prediction for a thread starting at @p start_pc, or nullptr. */
+    const DfEntry *lookup(Addr start_pc) const;
+
+    /** Record mispredicted inputs and their last modifiers. */
+    void record(Addr start_pc, const std::vector<DfItem> &items);
+
+    /** Drop the entry for @p start_pc (all inputs predicted well). */
+    void clear(Addr start_pc);
+
+  private:
+    size_t index(Addr pc) const;
+
+    std::vector<DfEntry> table;
+};
+
+} // namespace dmt
+
+#endif // DMT_DMT_DATAFLOW_PRED_HH

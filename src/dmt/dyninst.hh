@@ -1,0 +1,175 @@
+/**
+ * @file
+ * In-pipeline dynamic instruction record and its slab allocator.
+ *
+ * DynInsts live in the level-1 instruction window (the execution
+ * pipeline).  A trace-buffer entry can be represented by several
+ * DynInsts over its lifetime: the original dispatch plus any recovery
+ * re-dispatches; the entry's `uid` identifies which incarnation is the
+ * authoritative one — writebacks from superseded incarnations are
+ * ignored (this models the paper's tag-match on trace-buffer result
+ * writes).
+ *
+ * References between structures use generation-checked handles
+ * (DynRef), so stale wakeup subscriptions after squashes resolve to
+ * null instead of dangling.
+ */
+
+#ifndef DMT_DMT_DYNINST_HH
+#define DMT_DMT_DYNINST_HH
+
+#include <vector>
+
+#include "common/log.hh"
+#include "isa/inst.hh"
+
+namespace dmt
+{
+
+/** Generation-checked handle to a DynInst slab slot. */
+struct DynRef
+{
+    i32 slot = -1;
+    u32 gen = 0;
+
+    bool valid() const { return slot >= 0; }
+    bool operator==(const DynRef &) const = default;
+};
+
+/** Scheduling state of an in-flight instruction. */
+enum class DynState : u8
+{
+    Waiting,  ///< operands outstanding
+    Ready,    ///< in the ready queue
+    Issued,   ///< executing on an FU
+    Done,     ///< completed (result written back)
+};
+
+/** One in-flight instruction in the execution pipeline. */
+struct DynInst
+{
+    DynRef self;
+
+    /** Global dispatch order — issue priority. */
+    u64 seq = 0;
+    ThreadId tid = kNoThread;
+    u32 tgen = 0;
+    /** Absolute trace-buffer entry id this incarnation represents. */
+    u64 tb_id = 0;
+    /** Incarnation id; must match the TB entry's uid to take effect. */
+    u32 uid = 0;
+
+    Instruction inst;
+    Addr pc = 0;
+    bool is_recovery = false;
+    bool squashed = false;
+
+    // Operand state.
+    u32 src_val[2] = {0, 0};
+    bool src_ready[2] = {true, true};
+    int n_src_pending = 0;
+
+    // Physical register bookkeeping.
+    PhysReg dest_phys = kNoPhysReg;
+    /** Previous same-map mapping, freed at early retirement. */
+    PhysReg free_on_retire = kNoPhysReg;
+    /** When set, dest_phys itself is released at early retirement unless
+     *  it is still the thread's current (live-out) mapping. */
+    bool recovery_owns_dest = false;
+
+    DynState state = DynState::Waiting;
+    /** Memory-dependence throttle: the calendar entry is a retry poll,
+     *  not a completion. */
+    bool poll_retry = false;
+    Cycle fetch_cycle = 0;
+    Cycle dispatch_cycle = 0;
+    Cycle issue_cycle = 0;
+    Cycle complete_cycle = 0;
+
+    // Execution results (filled at issue/complete).
+    u32 result = 0;
+    Addr mem_addr = 0;
+    bool early_retired = false;
+
+    /** Dataflow-prediction delivery targets (thread-input updates to
+     *  perform at writeback): packed (tid, tgen, reg). */
+    struct DfTarget
+    {
+        ThreadId tid;
+        u32 tgen;
+        LogReg reg;
+    };
+    std::vector<DfTarget> df_targets;
+};
+
+/** Slab allocator with generation-checked handles. */
+class DynPool
+{
+  public:
+    DynInst *
+    alloc()
+    {
+        i32 slot;
+        if (!free_slots.empty()) {
+            slot = free_slots.back();
+            free_slots.pop_back();
+        } else {
+            slot = static_cast<i32>(slots.size());
+            slots.emplace_back(new DynInst);
+            gens.push_back(0);
+        }
+        DynInst *d = slots[static_cast<size_t>(slot)];
+        const u32 gen = gens[static_cast<size_t>(slot)];
+        *d = DynInst{};
+        d->self = DynRef{slot, gen};
+        ++live_;
+        return d;
+    }
+
+    void
+    release(DynInst *d)
+    {
+        const i32 slot = d->self.slot;
+        DMT_ASSERT(slot >= 0 && gens[static_cast<size_t>(slot)]
+                   == d->self.gen, "double release of DynInst");
+        ++gens[static_cast<size_t>(slot)];
+        d->self = DynRef{};
+        d->df_targets.clear();
+        free_slots.push_back(slot);
+        --live_;
+    }
+
+    /** Resolve a handle; nullptr when stale. */
+    DynInst *
+    get(DynRef ref)
+    {
+        if (ref.slot < 0
+            || ref.slot >= static_cast<i32>(slots.size())
+            || gens[static_cast<size_t>(ref.slot)] != ref.gen) {
+            return nullptr;
+        }
+        return slots[static_cast<size_t>(ref.slot)];
+    }
+
+    int live() const { return live_; }
+
+    ~DynPool()
+    {
+        for (DynInst *d : slots)
+            delete d;
+    }
+
+    DynPool() = default;
+    DynPool(const DynPool &) = delete;
+    DynPool &operator=(const DynPool &) = delete;
+
+  private:
+    std::vector<DynInst *> slots;
+    std::vector<u32> gens;
+    std::vector<i32> free_slots;
+    int live_ = 0;
+};
+
+} // namespace dmt
+
+#endif // DMT_DMT_DYNINST_HH

@@ -1,0 +1,406 @@
+#include "dmt/engine.hh"
+
+#include <algorithm>
+
+#include "common/strutil.hh"
+#include "sim/arch_state.hh"
+#include "sim/functional.hh"
+
+namespace dmt
+{
+
+DmtEngine::DmtEngine(const SimConfig &cfg_, const Program &prog_)
+    : cfg(cfg_),
+      prog(prog_),
+      hier(cfg_.mem),
+      bpu(cfg_.bpred),
+      prf(cfg_.physRegCount()),
+      lsq(cfg_.lqSize(), cfg_.sqSize(), cfg_.max_threads),
+      tree(cfg_.max_threads),
+      spawn_pred(cfg_.spawn_table_bits, cfg_.max_threads,
+                 cfg_.min_thread_size),
+      df_pred(),
+      fus(cfg_.unlimited_fus, cfg_.fus, cfg_.lat_div)
+{
+    cfg.validate();
+    if (const char *dbg = std::getenv("DMT_DEBUG"))
+        debug_trace = dbg[0] != '0';
+    mem.loadProgram(prog);
+    if (cfg.check_golden)
+        checker = std::make_unique<GoldenChecker>(prog);
+
+    psubs.resize(static_cast<size_t>(prf.count()));
+    memdep.assign(kMemdepEntries, 0);
+    io_waiters.resize(static_cast<size_t>(cfg.max_threads));
+
+    threads.reserve(static_cast<size_t>(cfg.max_threads));
+    for (int i = 0; i < cfg.max_threads; ++i) {
+        threads.emplace_back(std::make_unique<ThreadContext>());
+        threads.back()->id = i;
+        threads.back()->active = false;
+    }
+
+    // Bring up the initial (architectural) thread.
+    ThreadContext &t0 = *threads[0];
+    t0.resetFor(0, cfg.tb_size);
+    t0.start_pc = t0.pc = prog.entry;
+    tree.resetWith(0);
+
+    // Architectural initial register values are exact thread inputs.
+    ArchState init;
+    init.reset(prog);
+    for (int r = 0; r < kNumLogRegs; ++r) {
+        IoInput &in = t0.io.in[static_cast<size_t>(r)];
+        in.valid = true;
+        in.value = init.regs[static_cast<size_t>(r)];
+        in.valid_at_spawn = true;
+        in.finalized = true;
+        retire_regs[static_cast<size_t>(r)] =
+            init.regs[static_cast<size_t>(r)];
+    }
+    head_validated = true;
+}
+
+ThreadContext &
+DmtEngine::ctx(ThreadId tid)
+{
+    DMT_ASSERT(tid >= 0 && tid < cfg.max_threads, "bad tid %d", tid);
+    return *threads[static_cast<size_t>(tid)];
+}
+
+const ThreadContext &
+DmtEngine::ctx(ThreadId tid) const
+{
+    DMT_ASSERT(tid >= 0 && tid < cfg.max_threads, "bad tid %d", tid);
+    return *threads[static_cast<size_t>(tid)];
+}
+
+ThreadContext *
+DmtEngine::get(ThreadId tid, u32 gen)
+{
+    if (tid < 0 || tid >= cfg.max_threads)
+        return nullptr;
+    ThreadContext &t = *threads[static_cast<size_t>(tid)];
+    return t.active && t.gen == gen ? &t : nullptr;
+}
+
+bool
+DmtEngine::isHead(const ThreadContext &t) const
+{
+    return tree.head() == t.id;
+}
+
+PhysReg
+DmtEngine::allocPhys()
+{
+    const PhysReg p = prf.alloc();
+    DMT_ASSERT(p != kNoPhysReg,
+               "physical register file exhausted (%d regs)", prf.count());
+    // Any subscriptions left over from the previous incarnation of this
+    // register are stale by construction (see engine.hh ownership
+    // rules); drop them so the lists cannot grow without bound.
+    psubs[static_cast<size_t>(p)].waiters.clear();
+    psubs[static_cast<size_t>(p)].io_subs.clear();
+    return p;
+}
+
+bool
+DmtEngine::memdepConservative(Addr pc) const
+{
+    return memdep[(pc >> 2) & (kMemdepEntries - 1)] >= 2;
+}
+
+void
+DmtEngine::memdepTrain(Addr pc, bool violated)
+{
+    u8 &c = memdep[(pc >> 2) & (kMemdepEntries - 1)];
+    if (violated)
+        c = static_cast<u8>(std::min<int>(c + 2, 3));
+    else if (c > 0)
+        --c;
+}
+
+bool
+DmtEngine::memBefore(ThreadId tid_a, u64 tb_a, ThreadId tid_b,
+                     u64 tb_b) const
+{
+    if (tid_a == tid_b)
+        return tb_a < tb_b;
+    return tree.before(tid_a, tid_b);
+}
+
+bool
+DmtEngine::goldenOk() const
+{
+    return !checker || checker->ok();
+}
+
+std::string
+DmtEngine::goldenError() const
+{
+    return checker ? checker->error() : std::string();
+}
+
+void
+DmtEngine::step()
+{
+    DMT_ASSERT(!done_, "step() after completion");
+
+    fus.newCycle(now_);
+
+    doWriteback();
+    doRecovery();
+    doDispatch();
+    doIssue();
+    doFetch();
+    doEarlyRetire();
+    doStoreDrain();
+    doFinalRetire();
+    checkThreadMispredictions();
+
+    stats_.active_threads.sample(static_cast<double>(tree.size()));
+
+    // Prune lookahead episodes that can no longer match: any retiring
+    // instruction was fetched at most a full pipeline lifetime ago.
+    if ((now_ & 0x3FF) == 0) {
+        const Cycle horizon = now_ > 100000 ? now_ - 100000 : 0;
+        branch_eps.prune(horizon);
+        imiss_eps.prune(horizon);
+    }
+
+    ++now_;
+    ++stats_.cycles;
+
+    if (cfg.max_retired > 0 && retired_total >= cfg.max_retired)
+        done_ = true;
+    if (cfg.max_cycles > 0 && now_ >= cfg.max_cycles)
+        done_ = true;
+}
+
+void
+DmtEngine::run()
+{
+    u64 last_retired = 0;
+    Cycle last_progress = 0;
+    while (!done_) {
+        step();
+        if (retired_total != last_retired) {
+            last_retired = retired_total;
+            last_progress = now_;
+        } else if (now_ - last_progress > 500000) {
+            panic("no retirement progress for 500000 cycles at cycle "
+                  "%llu (retired %llu) — engine deadlock",
+                  static_cast<unsigned long long>(now_),
+                  static_cast<unsigned long long>(retired_total));
+        }
+    }
+
+    // Snapshot cache statistics into the stat block.
+    stats_.icache_misses += hier.l1i().misses();
+    stats_.icache_accesses += hier.l1i().misses() + hier.l1i().hits();
+    stats_.dcache_misses += hier.l1d().misses();
+    stats_.dcache_accesses += hier.l1d().misses() + hier.l1d().hits();
+}
+
+// ---------------------------------------------------------------------
+// Squash machinery
+// ---------------------------------------------------------------------
+
+void
+DmtEngine::squashDyn(DynInst *d)
+{
+    if (d->squashed)
+        return;
+    d->squashed = true;
+    ++stats_.squashed_insts;
+    if (!d->early_retired) {
+        --window_used;
+        if (d->dest_phys != kNoPhysReg)
+            prf.free(d->dest_phys);
+    }
+    // The slab slot is released lazily when the pipe FIFO pops it; all
+    // other references (ready queue, calendar, waiter lists) check the
+    // squashed flag / generation.
+}
+
+void
+DmtEngine::releaseEntryState(ThreadContext &t, TBEntry &entry,
+                             bool squashed)
+{
+    if (entry.lq_id >= 0) {
+        lsq.freeLoad(entry.lq_id);
+        entry.lq_id = -1;
+    }
+    if (squashed && entry.sq_id >= 0) {
+        auto result = lsq.freeStore(entry.sq_id, true);
+        entry.sq_id = -1;
+        handleLsqViolations(result.orphaned_loads);
+        for (const DynRef &ref : result.stall_waiters) {
+            DynInst *d = pool.get(ref);
+            if (d && !d->squashed && d->state == DynState::Waiting)
+                makeReady(d);
+        }
+    }
+    if (squashed) {
+        if (entry.branch_episode)
+            branch_eps.drop(entry.branch_episode);
+        if (entry.imiss_episode)
+            imiss_eps.drop(entry.imiss_episode);
+        if (entry.child_tid != kNoThread) {
+            ThreadContext *child = get(entry.child_tid, entry.child_gen);
+            if (child)
+                squashThreadTree(child->id);
+            entry.child_tid = kNoThread;
+        }
+    }
+}
+
+void
+DmtEngine::inThreadSquash(ThreadContext &t, u64 from_tb_id,
+                          Addr new_fetch_pc,
+                          const BranchCheckpoint *checkpoint)
+{
+    if (debug_trace)
+        std::fprintf(stderr, "[%llu] inThreadSquash tid=%d from=%llu "
+                     "redirect=0x%x\n", (unsigned long long)now_, t.id,
+                     (unsigned long long)from_tb_id, new_fetch_pc);
+    // Frontend: everything fetched but not dispatched is younger than
+    // any dispatched instruction.
+    t.fq.clear();
+    t.pending_imiss_episode = 0;
+
+    // Squash in-flight incarnations belonging to dying entries.
+    for (const DynRef &ref : t.pipe) {
+        DynInst *d = pool.get(ref);
+        if (d && !d->squashed && d->tb_id >= from_tb_id)
+            squashDyn(d);
+    }
+
+    // Release per-entry state, newest first (child spawns etc.).
+    for (u64 id = t.tb.endId(); id > from_tb_id; --id)
+        releaseEntryState(t, t.tb.at(id - 1), true);
+    t.tb.truncateFrom(from_tb_id);
+
+    // Restore sequencing state.
+    if (checkpoint) {
+        t.tb.restoreWriters(checkpoint->writers);
+        t.bstate = checkpoint->bstate;
+        t.loop_spawned = checkpoint->loop_spawned;
+    } else {
+        // Divergence repair: rebuild the writer table by scanning the
+        // surviving entries.
+        TraceBuffer::WriterSnapshot snap{};
+        snap.has_writer.fill(0);
+        for (u64 id = t.tb.firstId(); id < t.tb.endId(); ++id) {
+            const TBEntry &e = t.tb.at(id);
+            if (e.has_dest) {
+                snap.last_writer[e.dest] = id;
+                snap.has_writer[e.dest] = 1;
+            }
+        }
+        t.tb.restoreWriters(snap);
+        // Writers that already finally retired are gone from the table;
+        // for a (head) thread with a retired prefix, registers without
+        // a surviving writer must read the architectural values at the
+        // current retirement point, not the thread-start inputs.
+        if (t.retired_count > 0) {
+            for (int ri = 0; ri < kNumLogRegs; ++ri) {
+                IoInput &in = t.io.in[static_cast<size_t>(ri)];
+                in.valid = true;
+                in.value = retire_regs[static_cast<size_t>(ri)];
+                in.watch = kNoPhysReg;
+            }
+        }
+    }
+
+    // Discard checkpoints of squashed branches.
+    while (!t.checkpoints.empty()
+           && t.checkpoints.rbegin()->first >= from_tb_id) {
+        t.checkpoints.erase(std::prev(t.checkpoints.end()));
+    }
+
+    // Clamp the recovery FSM: pending work beyond the truncation point
+    // is gone (the refetched entries read corrected state directly).
+    RecoveryFsm &fsm = t.recov;
+    if (fsm.state == RecoveryFsm::State::Walk
+        && fsm.walk_pos >= t.tb.endId()) {
+        fsm.state = RecoveryFsm::State::Idle;
+    }
+    if (fsm.state == RecoveryFsm::State::Latency
+        && fsm.cur.start_tb_id >= t.tb.endId()) {
+        fsm.state = RecoveryFsm::State::Idle;
+    }
+    for (auto &r : fsm.queue) {
+        std::erase_if(r.load_roots,
+                      [&](u64 id) { return !t.tb.contains(id); });
+    }
+    std::erase_if(fsm.queue, [&](const RecoveryRequest &r) {
+        return (r.reg_mask == 0 && r.load_roots.empty())
+            || r.start_tb_id >= t.tb.endId();
+    });
+
+    // Redirect fetch.
+    t.pc = new_fetch_pc;
+    t.stopped = false;
+    t.fetched_halt = false;
+}
+
+void
+DmtEngine::squashThread(ThreadContext &t)
+{
+    DMT_ASSERT(t.active, "squashing inactive thread");
+    if (debug_trace)
+        std::fprintf(stderr, "[%llu] squashThread tid=%d start=0x%x\n",
+                     (unsigned long long)now_, t.id, t.start_pc);
+
+    t.fq.clear();
+    for (const DynRef &ref : t.pipe) {
+        DynInst *d = pool.get(ref);
+        if (d && !d->squashed)
+            squashDyn(d);
+        if (d)
+            pool.release(d);
+    }
+    t.pipe.clear();
+
+    for (u64 id = t.tb.endId(); id > t.tb.firstId(); --id)
+        releaseEntryState(t, t.tb.at(id - 1), true);
+    t.tb.truncateFrom(t.tb.firstId());
+
+    spawn_pred.onThreadSquashed(t.start_pc);
+    ++stats_.threads_squashed;
+
+    // Resume the predecessor if it had stopped at our start PC.
+    const ThreadId pred = tree.predecessor(t.id);
+    tree.remove(t.id);
+    t.active = false;
+    ++t.gen;
+    io_waiters[static_cast<size_t>(t.id)].fill({});
+
+    if (pred != kNoThread) {
+        ThreadContext &p = ctx(pred);
+        if (p.stopped && !p.fetched_halt)
+            p.stopped = false; // re-evaluated against the new successor
+    }
+}
+
+void
+DmtEngine::squashThreadTree(ThreadId tid)
+{
+    if (!tree.contains(tid))
+        return;
+    std::vector<ThreadId> victims = tree.subtree(tid);
+    // Squash leaves first so tree.remove never splices live children.
+    for (auto it = victims.rbegin(); it != victims.rend(); ++it)
+        squashThread(ctx(*it));
+}
+
+void
+DmtEngine::checkRegConservation()
+{
+    DMT_ASSERT(prf.numFree() == prf.count(),
+               "physical register leak: %d of %d free", prf.numFree(),
+               prf.count());
+}
+
+} // namespace dmt

@@ -1,0 +1,4 @@
+#include "dmt/io_regfile.hh"
+
+// IoRegFile is a plain aggregate; compiled standalone for the
+// self-containment check.

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-thread input/output register files (paper Section 3.2.2).
+ *
+ * Input registers hold the thread's value-predicted register context:
+ * at spawn each is either a value (parent output already computed) or a
+ * physical-register watch tag that grabs the value off the writeback
+ * bus.  Output registers track the thread's own live-out mappings for
+ * future spawns.  The final-retirement comparison that triggers
+ * recovery is performed by the engine using the `used`/`used_value`
+ * bookkeeping recorded here.
+ */
+
+#ifndef DMT_DMT_IO_REGFILE_HH
+#define DMT_DMT_IO_REGFILE_HH
+
+#include <array>
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+/** One value-predicted thread input register. */
+struct IoInput
+{
+    /** Speculative value available. */
+    bool valid = false;
+    u32 value = 0;
+    /** Physical register being snooped when !valid. */
+    PhysReg watch = kNoPhysReg;
+
+    /** The thread read this register as a thread input. */
+    bool used = false;
+    /** Latest value handed to consumers (updated by corrections). */
+    u32 used_value = 0;
+    /** Oldest trace-buffer entry that read this input (recovery walks
+     *  start here — nothing earlier can depend on it). */
+    u64 first_use_id = 0;
+
+    // Prediction-accuracy classification (Figure 11).
+    bool valid_at_spawn = false;
+    bool corrected = false;   ///< dataflow correction applied
+    bool found_wrong = false; ///< a (non-dataflow) check caught a
+                              ///< mispredicted value — a prediction miss
+    bool finalized = false;   ///< head-switch fixed the value
+};
+
+/** One thread output register (live-out tracking). */
+struct IoOutput
+{
+    /** The thread redefined this register itself. */
+    bool redefined = false;
+    PhysReg phys = kNoPhysReg;
+    bool valid = false;
+    u32 value = 0;
+};
+
+/** The per-thread IO register file. */
+struct IoRegFile
+{
+    std::array<IoInput, kNumLogRegs> in;
+    std::array<IoOutput, kNumLogRegs> out;
+
+    void
+    reset()
+    {
+        in.fill(IoInput{});
+        out.fill(IoOutput{});
+    }
+};
+
+} // namespace dmt
+
+#endif // DMT_DMT_IO_REGFILE_HH

@@ -1,0 +1,55 @@
+#include "dmt/lookahead.hh"
+
+namespace dmt
+{
+
+u64
+EpisodeTracker::open(Cycle start, Cycle end)
+{
+    const u64 handle = next_handle++;
+    episodes.push_back({handle, start, end, false, false});
+    return handle;
+}
+
+void
+EpisodeTracker::ownerRetired(u64 handle)
+{
+    for (auto &e : episodes) {
+        if (e.handle == handle) {
+            e.countable = true;
+            return;
+        }
+    }
+}
+
+void
+EpisodeTracker::drop(u64 handle)
+{
+    for (auto &e : episodes) {
+        if (e.handle == handle) {
+            e.dropped = true;
+            return;
+        }
+    }
+}
+
+bool
+EpisodeTracker::covered(Cycle when, u64 exclude) const
+{
+    for (const auto &e : episodes) {
+        if (e.countable && !e.dropped && e.handle != exclude
+            && when >= e.start && when < e.end) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+EpisodeTracker::prune(Cycle horizon)
+{
+    while (!episodes.empty() && episodes.front().end < horizon)
+        episodes.pop_front();
+}
+
+} // namespace dmt

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Lookahead accounting for Figures 8 and 9: how many finally-retired
+ * instructions were fetched / executed while an *earlier* (program
+ * order) instruction stream was blocked — behind an unresolved branch
+ * that turned out mispredicted, or behind an ICache miss.  Both are
+ * identically zero on a single-threaded machine, which is the paper's
+ * point.
+ *
+ * Episodes are intervals [start, end) in cycles.  An episode becomes
+ * countable once its *owner* (the mispredicted branch / the missed
+ * instruction) finally retires — that both establishes that the owner
+ * was on the correct path and gives the program-order anchor: any
+ * instruction retiring later is later in program order.
+ */
+
+#ifndef DMT_DMT_LOOKAHEAD_HH
+#define DMT_DMT_LOOKAHEAD_HH
+
+#include <deque>
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+/** Tracker for one episode class (branch or ICache miss). */
+class EpisodeTracker
+{
+  public:
+    /**
+     * Register an episode pending owner retirement.
+     * @return episode handle (monotonic id).
+     */
+    u64 open(Cycle start, Cycle end);
+
+    /** The owner finally retired; the episode becomes countable. */
+    void ownerRetired(u64 handle);
+
+    /** The owner got squashed; drop the episode. */
+    void drop(u64 handle);
+
+    /**
+     * Was cycle @p when inside any countable episode?  (Called at final
+     * retirement of a candidate instruction; the candidate must not be
+     * the owner — pass its own handle in @p exclude, or 0.)
+     */
+    bool covered(Cycle when, u64 exclude) const;
+
+    /** Discard episodes that can no longer match (end < horizon). */
+    void prune(Cycle horizon);
+
+    size_t size() const { return episodes.size(); }
+
+  private:
+    struct Episode
+    {
+        u64 handle;
+        Cycle start;
+        Cycle end;
+        bool countable = false;
+        bool dropped = false;
+    };
+
+    std::deque<Episode> episodes;
+    u64 next_handle = 1;
+};
+
+} // namespace dmt
+
+#endif // DMT_DMT_LOOKAHEAD_HH

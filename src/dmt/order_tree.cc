@@ -1,0 +1,165 @@
+#include "dmt/order_tree.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+OrderTree::OrderTree(int max_threads_)
+    : max_threads(max_threads_)
+{
+    active.assign(static_cast<size_t>(max_threads), 0);
+    parent.assign(static_cast<size_t>(max_threads), kNoThread);
+    kids.assign(static_cast<size_t>(max_threads), {});
+    pos.assign(static_cast<size_t>(max_threads), -1);
+}
+
+size_t
+OrderTree::idx(ThreadId tid) const
+{
+    DMT_ASSERT(tid >= 0 && tid < max_threads, "bad thread id %d", tid);
+    return static_cast<size_t>(tid);
+}
+
+void
+OrderTree::resetWith(ThreadId tid)
+{
+    std::fill(active.begin(), active.end(), 0);
+    std::fill(parent.begin(), parent.end(), kNoThread);
+    for (auto &k : kids)
+        k.clear();
+    top.clear();
+    active[idx(tid)] = 1;
+    top.push_back(tid);
+    invalidate();
+}
+
+void
+OrderTree::addChild(ThreadId p, ThreadId child)
+{
+    DMT_ASSERT(active[idx(p)], "parent %d not active", p);
+    DMT_ASSERT(!active[idx(child)], "child %d already active", child);
+    active[idx(child)] = 1;
+    parent[idx(child)] = p;
+    kids[idx(p)].insert(kids[idx(p)].begin(), child);
+    invalidate();
+}
+
+void
+OrderTree::remove(ThreadId tid)
+{
+    DMT_ASSERT(active[idx(tid)], "removing inactive thread %d", tid);
+
+    auto &children = kids[idx(tid)];
+    const ThreadId p = parent[idx(tid)];
+    auto &siblings = p == kNoThread ? top : kids[idx(p)];
+    auto it = std::find(siblings.begin(), siblings.end(), tid);
+    DMT_ASSERT(it != siblings.end(), "tree corruption");
+    // Splice children into the removed node's position, preserving
+    // their relative (most-recent-first) order.
+    it = siblings.erase(it);
+    siblings.insert(it, children.begin(), children.end());
+    for (ThreadId c : children)
+        parent[idx(c)] = p;
+    children.clear();
+
+    active[idx(tid)] = 0;
+    parent[idx(tid)] = kNoThread;
+    invalidate();
+}
+
+void
+OrderTree::walk(ThreadId tid) const
+{
+    pos[idx(tid)] = static_cast<int>(order_.size());
+    order_.push_back(tid);
+    for (ThreadId c : kids[idx(tid)])
+        walk(c);
+}
+
+void
+OrderTree::rebuild() const
+{
+    order_.clear();
+    std::fill(pos.begin(), pos.end(), -1);
+    for (ThreadId t : top)
+        walk(t);
+    cache_valid = true;
+}
+
+const std::vector<ThreadId> &
+OrderTree::order() const
+{
+    if (!cache_valid)
+        rebuild();
+    return order_;
+}
+
+ThreadId
+OrderTree::head() const
+{
+    const auto &o = order();
+    return o.empty() ? kNoThread : o.front();
+}
+
+ThreadId
+OrderTree::last() const
+{
+    const auto &o = order();
+    return o.empty() ? kNoThread : o.back();
+}
+
+ThreadId
+OrderTree::successor(ThreadId tid) const
+{
+    const auto &o = order();
+    const int p = pos[idx(tid)];
+    DMT_ASSERT(p >= 0, "successor of inactive thread %d", tid);
+    return p + 1 < static_cast<int>(o.size())
+        ? o[static_cast<size_t>(p) + 1] : kNoThread;
+}
+
+ThreadId
+OrderTree::predecessor(ThreadId tid) const
+{
+    order();
+    const int p = pos[idx(tid)];
+    DMT_ASSERT(p >= 0, "predecessor of inactive thread %d", tid);
+    return p > 0 ? order_[static_cast<size_t>(p) - 1] : kNoThread;
+}
+
+bool
+OrderTree::before(ThreadId a, ThreadId b) const
+{
+    order();
+    const int pa = pos[idx(a)];
+    const int pb = pos[idx(b)];
+    DMT_ASSERT(pa >= 0 && pb >= 0, "ordering inactive threads");
+    return pa < pb;
+}
+
+std::vector<ThreadId>
+OrderTree::subtree(ThreadId tid) const
+{
+    DMT_ASSERT(active[idx(tid)], "subtree of inactive thread %d", tid);
+    std::vector<ThreadId> result;
+    std::vector<ThreadId> stack{tid};
+    while (!stack.empty()) {
+        const ThreadId t = stack.back();
+        stack.pop_back();
+        result.push_back(t);
+        for (ThreadId c : kids[idx(t)])
+            stack.push_back(c);
+    }
+    return result;
+}
+
+int
+OrderTree::size() const
+{
+    return static_cast<int>(order().size());
+}
+
+} // namespace dmt

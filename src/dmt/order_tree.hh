@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Thread ordering tree (paper Section 3.1.1).  Threads spawned by the
+ * same parent are kept most-recent-first; the program order of all
+ * active threads is the preorder walk visiting each node before its
+ * children ("top to bottom, right to left" in the paper's figure).  A
+ * virtual root lets the head thread retire while keeping the rest of
+ * the order intact: a removed node's children are spliced into its
+ * position in the parent's child list.
+ */
+
+#ifndef DMT_DMT_ORDER_TREE_HH
+#define DMT_DMT_ORDER_TREE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+/** Ordering tree over active thread contexts. */
+class OrderTree
+{
+  public:
+    explicit OrderTree(int max_threads);
+
+    /** Remove everything and install @p tid as the only thread. */
+    void resetWith(ThreadId tid);
+
+    /** Insert @p child as @p parent's most recent child. */
+    void addChild(ThreadId parent, ThreadId child);
+
+    /** Remove a thread; its children splice into its position. */
+    void remove(ThreadId tid);
+
+    bool contains(ThreadId tid) const { return active[idx(tid)]; }
+
+    /** Program order of all active threads (earliest first). */
+    const std::vector<ThreadId> &order() const;
+
+    /** First (non-speculative / head) thread; kNoThread when empty. */
+    ThreadId head() const;
+
+    /** Last thread in program order; kNoThread when empty. */
+    ThreadId last() const;
+
+    /** Thread after @p tid in program order; kNoThread when none. */
+    ThreadId successor(ThreadId tid) const;
+
+    /** Thread before @p tid in program order; kNoThread when none. */
+    ThreadId predecessor(ThreadId tid) const;
+
+    /** Strict program-order comparison of two active threads. */
+    bool before(ThreadId a, ThreadId b) const;
+
+    /** All active threads in @p tid's subtree, including @p tid. */
+    std::vector<ThreadId> subtree(ThreadId tid) const;
+
+    int size() const;
+
+  private:
+    size_t idx(ThreadId tid) const;
+    void invalidate() { cache_valid = false; }
+    void rebuild() const;
+    void walk(ThreadId tid) const;
+
+    int max_threads;
+    std::vector<u8> active;
+    std::vector<ThreadId> parent;           // kNoThread for top level
+    std::vector<std::vector<ThreadId>> kids; // most recent first
+    std::vector<ThreadId> top;               // top-level, most recent first
+
+    mutable bool cache_valid = false;
+    mutable std::vector<ThreadId> order_;
+    mutable std::vector<int> pos; // order position per tid, -1 inactive
+};
+
+} // namespace dmt
+
+#endif // DMT_DMT_ORDER_TREE_HH

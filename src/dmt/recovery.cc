@@ -1,0 +1,4 @@
+#include "dmt/recovery.hh"
+
+// RecoveryFsm is fully inline; the walk logic lives in
+// dmt/engine_execute.cc where it has access to the pipeline.

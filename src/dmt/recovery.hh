@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Recovery finite state machine state (paper Section 3.2.3).  One per
+ * thread; the engine drives it.  A request names a walk start point in
+ * the thread's trace buffer and either a set of corrected input
+ * registers (register-root) or a mispredicted load (load-root).  The
+ * walk reads blocks of tb_read_block entries per cycle after a
+ * tb_latency startup delay, filters transitively dependent
+ * instructions with a 32-entry dependency flag table, and re-dispatches
+ * them through the recovery rename map.
+ */
+
+#ifndef DMT_DMT_RECOVERY_HH
+#define DMT_DMT_RECOVERY_HH
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+/** A pending recovery request (possibly merged from several events). */
+struct RecoveryRequest
+{
+    /** First trace-buffer entry to examine. */
+    u64 start_tb_id = 0;
+    /** Corrected thread-input registers (register roots). */
+    u32 reg_mask = 0;
+    /** Mispredicted loads to re-issue (sorted trace-buffer ids). */
+    std::vector<u64> load_roots;
+
+    bool
+    isLoadRoot(u64 id) const
+    {
+        return std::binary_search(load_roots.begin(), load_roots.end(),
+                                  id);
+    }
+};
+
+/** Per-thread recovery engine state. */
+class RecoveryFsm
+{
+  public:
+    enum class State { Idle, Latency, Walk };
+
+    State state = State::Idle;
+    std::deque<RecoveryRequest> queue;
+
+    // Active-walk state.
+    RecoveryRequest cur;
+    u64 walk_pos = 0;
+    u32 dep_flags = 0;
+    int latency_left = 0;
+    /** Next unvisited entry of cur.load_roots. */
+    size_t next_root = 0;
+
+    bool busy() const { return state != State::Idle || !queue.empty(); }
+    bool walking() const { return state != State::Idle; }
+
+    /**
+     * Oldest trace-buffer entry that could still be touched by pending
+     * recovery work.  Entries below this id are final and may retire
+     * even while a walk is running (re-dispatched entries above it are
+     * held back by their completed flag anyway).
+     */
+    u64
+    lowWater() const
+    {
+        u64 low = ~0ull;
+        if (state == State::Walk)
+            low = std::min(low, walk_pos);
+        else if (state == State::Latency)
+            low = std::min(low, cur.start_tb_id);
+        for (const RecoveryRequest &q : queue)
+            low = std::min(low, q.start_tb_id);
+        return low;
+    }
+
+    /**
+     * Queue recovery work.  All pending work merges into a single
+     * walk: union of corrected registers and mispredicted loads,
+     * earliest start — one pass over the trace repairs everything
+     * (equivalent to, but much faster than, sequential walks).
+     */
+    void
+    enqueue(const RecoveryRequest &req)
+    {
+        if (queue.empty()) {
+            queue.push_back(req);
+            auto &lr = queue.back().load_roots;
+            std::sort(lr.begin(), lr.end());
+            return;
+        }
+        RecoveryRequest &q = queue.front();
+        q.start_tb_id = std::min(q.start_tb_id, req.start_tb_id);
+        q.reg_mask |= req.reg_mask;
+        for (u64 id : req.load_roots) {
+            auto it = std::lower_bound(q.load_roots.begin(),
+                                       q.load_roots.end(), id);
+            if (it == q.load_roots.end() || *it != id)
+                q.load_roots.insert(it, id);
+        }
+    }
+
+    void
+    reset()
+    {
+        state = State::Idle;
+        queue.clear();
+        cur = RecoveryRequest{};
+        walk_pos = 0;
+        dep_flags = 0;
+        latency_left = 0;
+        next_root = 0;
+    }
+};
+
+} // namespace dmt
+
+#endif // DMT_DMT_RECOVERY_HH

@@ -1,0 +1,119 @@
+#include "dmt/spawn_pred.hh"
+
+#include "common/bitutils.hh"
+#include "common/log.hh"
+
+namespace dmt
+{
+
+SpawnPredictor::SpawnPredictor(int table_bits_, int max_contexts_,
+                               int min_thread_size_)
+    : table_bits(table_bits_), max_contexts(max_contexts_),
+      min_thread_size(min_thread_size_)
+{
+    DMT_ASSERT(table_bits > 0 && table_bits <= 20, "bad spawn table");
+    mask = (1u << table_bits) - 1;
+    // Start weakly selected so cold threads get a chance to train.
+    counters.assign(1u << table_bits, 2);
+    loop_exits.resize(kLoopExitEntries);
+}
+
+u32
+SpawnPredictor::index(Addr pc) const
+{
+    return (pc >> 2) & mask;
+}
+
+bool
+SpawnPredictor::selected(Addr start_pc) const
+{
+    return counters[index(start_pc)] >= 2;
+}
+
+int
+SpawnPredictor::counterOf(Addr start_pc) const
+{
+    return counters[index(start_pc)];
+}
+
+void
+SpawnPredictor::bump(Addr start_pc, bool up)
+{
+    u8 &c = counters[index(start_pc)];
+    if (up) {
+        if (c < 3)
+            ++c;
+    } else if (c > 0) {
+        --c;
+    }
+}
+
+void
+SpawnPredictor::onThreadRetired(Addr start_pc, bool useful,
+                                bool too_small)
+{
+    if (too_small || !useful) {
+        // Paper: the counter is reset for a thread that is too small or
+        // does not sufficiently overlap other threads.
+        counters[index(start_pc)] = 0;
+    } else {
+        bump(start_pc, true);
+    }
+}
+
+void
+SpawnPredictor::onThreadSquashed(Addr start_pc)
+{
+    bump(start_pc, false);
+}
+
+void
+SpawnPredictor::onRetireSpawnPoint(Addr join_pc)
+{
+    ++spawn_seq;
+    // Don't flood the stack with one entry per loop iteration.
+    for (const auto &e : stack) {
+        if (e.join_pc == join_pc)
+            return;
+    }
+    if (static_cast<int>(stack.size()) >= kStackDepth)
+        stack.erase(stack.begin()); // drop the oldest
+    stack.push_back({join_pc, spawn_seq, retired_seq});
+}
+
+void
+SpawnPredictor::onRetirePc(Addr pc)
+{
+    ++retired_seq;
+    while (!stack.empty() && stack.back().join_pc == pc) {
+        const u64 distance = spawn_seq - stack.back().spawn_seq;
+        const u64 size = retired_seq - stack.back().retired_seq;
+        stack.pop_back();
+        // The would-be thread joins: good if it would have been close
+        // enough to keep a context *and* big enough to pay for itself.
+        bump(pc, distance < static_cast<u64>(max_contexts)
+                 && size >= static_cast<u64>(min_thread_size));
+    }
+}
+
+void
+SpawnPredictor::recordLoopExit(Addr branch_pc, Addr exit_pc)
+{
+    LoopExitEntry &e =
+        loop_exits[(branch_pc >> 2) & (kLoopExitEntries - 1)];
+    e.valid = true;
+    e.branch_pc = branch_pc;
+    e.exit_pc = exit_pc;
+}
+
+Addr
+SpawnPredictor::predictAfterLoop(Addr branch_pc) const
+{
+    const LoopExitEntry &e =
+        loop_exits[(branch_pc >> 2) & (kLoopExitEntries - 1)];
+    if (e.valid && e.branch_pc == branch_pc)
+        return e.exit_pc;
+    return branch_pc + 4;
+}
+
+} // namespace dmt

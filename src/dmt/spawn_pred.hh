@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Thread spawning predictors (paper Sections 3.1 and 3.1.3):
+ *
+ *  - Thread selection: an array of 2-bit saturating counters indexed by
+ *    thread start address.  A thread is spawned only when its counter
+ *    is above one.  Counters are trained by actual thread outcomes
+ *    (retired useful / squashed) *and* by a passive estimator that
+ *    watches the retirement stream, pushing potential spawn points on a
+ *    stack and popping them when the retired PC reaches the join point;
+ *    the thread distance (spawn points in between) decides the update
+ *    direction.  Threads that retire too small or with too little
+ *    overlap reset their counter.
+ *
+ *  - After-loop target history: a small table remembering, per
+ *    backward-branch PC, where control actually went after the loop —
+ *    used to seed after-loop threads whose start differs from the
+ *    fall-through default.
+ */
+
+#ifndef DMT_DMT_SPAWN_PRED_HH
+#define DMT_DMT_SPAWN_PRED_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+/** Spawn-point selection + after-loop target prediction. */
+class SpawnPredictor
+{
+  public:
+    SpawnPredictor(int table_bits, int max_contexts,
+                   int min_thread_size);
+
+    /** Should a thread starting at @p start_pc be spawned? */
+    bool selected(Addr start_pc) const;
+
+    /** Outcome feedback from a real thread. */
+    void onThreadRetired(Addr start_pc, bool useful, bool too_small);
+    void onThreadSquashed(Addr start_pc);
+
+    // ---- passive estimator (driven by the retirement stream) ----------
+
+    /** A spawn point retired (call or loop-closing branch). */
+    void onRetireSpawnPoint(Addr join_pc);
+
+    /** Every retired instruction's PC, in order. */
+    void onRetirePc(Addr pc);
+
+    // ---- after-loop target history -------------------------------------
+
+    /** Learn where control went after the loop closed by @p branch_pc. */
+    void recordLoopExit(Addr branch_pc, Addr exit_pc);
+
+    /** Predicted after-loop thread start (default fall-through). */
+    Addr predictAfterLoop(Addr branch_pc) const;
+
+    /** Counter value for tests. */
+    int counterOf(Addr start_pc) const;
+
+  private:
+    u32 index(Addr pc) const;
+    void bump(Addr start_pc, bool up);
+
+    int table_bits;
+    int max_contexts;
+    int min_thread_size;
+    u64 retired_seq = 0;
+    u32 mask;
+    std::vector<u8> counters;
+
+    struct StackEntry
+    {
+        Addr join_pc;
+        u64 spawn_seq;   ///< spawn counter value at push
+        u64 retired_seq; ///< retired-instruction count at push
+    };
+    static constexpr int kStackDepth = 64;
+    std::vector<StackEntry> stack;
+    u64 spawn_seq = 0;
+
+    struct LoopExitEntry
+    {
+        bool valid = false;
+        Addr branch_pc = 0;
+        Addr exit_pc = 0;
+    };
+    static constexpr int kLoopExitEntries = 512;
+    std::vector<LoopExitEntry> loop_exits;
+};
+
+} // namespace dmt
+
+#endif // DMT_DMT_SPAWN_PRED_HH

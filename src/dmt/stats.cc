@@ -1,0 +1,109 @@
+#include "dmt/stats.hh"
+
+namespace dmt
+{
+
+void
+DmtStats::registerAll(StatGroup &group) const
+{
+    group.addCounter("cycles", &cycles, "simulated cycles");
+    group.addCounter("retired", &retired, "finally retired instructions");
+    group.addCounter("early_retired", &early_retired,
+                     "instructions cleared from the pipeline");
+    group.addCounter("dispatched", &dispatched,
+                     "instructions dispatched (normal path)");
+    group.addCounter("issued", &issued, "instructions issued to FUs");
+    group.addCounter("squashed_insts", &squashed_insts,
+                     "dispatched instructions squashed");
+
+    group.addCounter("threads_spawned", &threads_spawned,
+                     "speculative threads created");
+    group.addCounter("threads_squashed", &threads_squashed,
+                     "speculative threads squashed");
+    group.addCounter("threads_joined", &threads_joined,
+                     "threads that retired after joining");
+    group.addCounter("spawns_suppressed", &spawns_suppressed,
+                     "spawns vetoed by the selection predictor");
+    group.addAverage("thread_size", &thread_size,
+                     "retired instructions per spawned thread");
+    group.addAverage("thread_overlap", &thread_overlap,
+                     "fraction executed while speculative");
+    group.addAverage("active_threads", &active_threads,
+                     "thread contexts active per cycle");
+
+    group.addCounter("cond_branches", &cond_branches,
+                     "conditional branches resolved");
+    group.addCounter("cond_mispredicts", &cond_mispredicts,
+                     "conditional branches mispredicted");
+    group.addCounter("indirect_jumps", &indirect_jumps,
+                     "indirect jumps resolved");
+    group.addCounter("indirect_mispredicts", &indirect_mispredicts,
+                     "indirect jumps mispredicted");
+    group.addCounter("late_divergences", &late_divergences,
+                     "recovery-time branch direction flips");
+
+    group.addCounter("loads_issued", &loads_issued, "loads executed");
+    group.addCounter("stores_issued", &stores_issued, "stores executed");
+    group.addCounter("fwd_same_thread", &fwd_same_thread,
+                     "store-to-load forwards within a thread");
+    group.addCounter("fwd_cross_thread", &fwd_cross_thread,
+                     "store-to-load forwards across threads");
+    group.addCounter("load_stalls_partial", &load_stalls_partial,
+                     "loads stalled on partial store overlap");
+    group.addCounter("lsq_violations", &lsq_violations,
+                     "memory-order violations detected");
+
+    group.addCounter("recoveries", &recoveries,
+                     "selective recovery walks");
+    group.addCounter("recovery_dispatches", &recovery_dispatches,
+                     "instructions re-dispatched by recovery");
+    group.addCounter("df_corrections", &df_corrections,
+                     "dataflow-predicted input corrections");
+    group.addCounter("df_matches", &df_matches,
+                     "last-modifier watch matches at dispatch");
+    group.addCounter("df_deliveries", &df_deliveries,
+                     "input values delivered via dataflow prediction");
+    group.addCounter("inputs_used", &inputs_used,
+                     "live thread input registers");
+    group.addCounter("inputs_valid_at_spawn", &inputs_valid_at_spawn,
+                     "inputs available at the spawn point");
+    group.addCounter("inputs_same_later", &inputs_same_later,
+                     "inputs written after spawn with the same value");
+    group.addCounter("inputs_df_correct", &inputs_df_correct,
+                     "inputs corrected by dataflow prediction");
+    group.addCounter("inputs_hit", &inputs_hit,
+                     "inputs needing no final-check recovery");
+
+    group.addCounter("la_fetch_beyond_mispredict",
+                     &la_fetch_beyond_mispredict,
+                     "retired instructions fetched beyond an unresolved "
+                     "mispredicted branch");
+    group.addCounter("la_exec_beyond_mispredict",
+                     &la_exec_beyond_mispredict,
+                     "retired instructions executed beyond an unresolved "
+                     "mispredicted branch");
+    group.addCounter("la_fetch_beyond_imiss", &la_fetch_beyond_imiss,
+                     "retired instructions fetched during an earlier "
+                     "thread's ICache miss");
+    group.addCounter("la_exec_beyond_imiss", &la_exec_beyond_imiss,
+                     "retired instructions executed during an earlier "
+                     "thread's ICache miss");
+
+    group.addCounter("st_headswitch", &st_headswitch,
+                     "cycles stalled on head-switch validation");
+    group.addCounter("st_recovery", &st_recovery,
+                     "cycles stalled on head recovery");
+    group.addCounter("st_incomplete", &st_incomplete,
+                     "cycles stalled on an unexecuted oldest entry");
+    group.addCounter("st_empty", &st_empty,
+                     "cycles with an empty head trace buffer");
+
+    group.addCounter("icache_misses", &icache_misses, "L1I misses");
+    group.addCounter("icache_accesses", &icache_accesses,
+                     "L1I accesses");
+    group.addCounter("dcache_misses", &dcache_misses, "L1D misses");
+    group.addCounter("dcache_accesses", &dcache_accesses,
+                     "L1D accesses");
+}
+
+} // namespace dmt

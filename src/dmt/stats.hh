@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Statistics gathered by the DMT engine — everything needed to
+ * regenerate the paper's Figures 4-13.
+ */
+
+#ifndef DMT_DMT_STATS_HH
+#define DMT_DMT_STATS_HH
+
+#include <string>
+
+#include "common/stats.hh"
+
+namespace dmt
+{
+
+/** Full engine statistics block. */
+struct DmtStats
+{
+    // ---- progress -------------------------------------------------------
+    Counter cycles;
+    Counter retired;          ///< finally retired instructions
+    Counter early_retired;
+    Counter dispatched;
+    Counter issued;
+    Counter squashed_insts;   ///< dispatched instructions squashed
+
+    // ---- threads --------------------------------------------------------
+    Counter threads_spawned;
+    Counter threads_squashed;
+    Counter threads_joined;   ///< retired after a successful join
+    Counter spawns_suppressed; ///< selection counter said no
+    Average thread_size;      ///< retired instructions per joined thread
+    Average thread_overlap;   ///< fraction executed while speculative
+    Average active_threads;   ///< sampled per cycle
+
+    // ---- branches ----------------------------------------------------------
+    Counter cond_branches;    ///< resolved conditional branches
+    Counter cond_mispredicts;
+    Counter indirect_jumps;
+    Counter indirect_mispredicts;
+    Counter late_divergences; ///< recovery-time branch direction flips
+
+    // ---- memory -------------------------------------------------------------
+    Counter loads_issued;
+    Counter stores_issued;
+    Counter fwd_same_thread;
+    Counter fwd_cross_thread;
+    Counter load_stalls_partial;
+    Counter lsq_violations;
+
+    // ---- data speculation ------------------------------------------------
+    Counter recoveries;            ///< recovery walks performed
+    Counter recovery_dispatches;   ///< instructions re-dispatched
+    Counter df_corrections;        ///< dataflow-predicted input updates
+    Counter df_matches;            ///< last-modifier watch matches
+    Counter df_deliveries;         ///< values delivered via dataflow
+    Counter inputs_used;           ///< live thread inputs (Figure 11)
+    Counter inputs_valid_at_spawn;
+    Counter inputs_same_later;
+    Counter inputs_df_correct;
+    Counter inputs_hit;            ///< correct without final-check recovery
+
+    // ---- lookahead (Figures 8 and 9) -------------------------------------
+    Counter la_fetch_beyond_mispredict;
+    Counter la_exec_beyond_mispredict;
+    Counter la_fetch_beyond_imiss;
+    Counter la_exec_beyond_imiss;
+
+    // ---- retirement stall attribution (cycles the head retired 0) ------
+    Counter st_headswitch;   ///< waiting on input validation / drain
+    Counter st_recovery;     ///< head recovery walk outstanding
+    Counter st_incomplete;   ///< oldest entry not yet executed
+    Counter st_empty;        ///< trace buffer empty (fetch behind)
+
+    // ---- caches (copied from the hierarchy at run end) ---------------------
+    Counter icache_misses;
+    Counter icache_accesses;
+    Counter dcache_misses;
+    Counter dcache_accesses;
+
+    double
+    ipc() const
+    {
+        return cycles.value() == 0
+            ? 0.0
+            : static_cast<double>(retired.value())
+                  / static_cast<double>(cycles.value());
+    }
+
+    double
+    condMispredictRate() const
+    {
+        return cond_branches.value() == 0
+            ? 0.0
+            : static_cast<double>(cond_mispredicts.value())
+                  / static_cast<double>(cond_branches.value());
+    }
+
+    /** Register everything on a StatGroup for text dumps. */
+    void registerAll(StatGroup &group) const;
+};
+
+} // namespace dmt
+
+#endif // DMT_DMT_STATS_HH

@@ -1,0 +1,4 @@
+#include "dmt/thread.hh"
+
+// ThreadContext is a plain data aggregate; behaviour lives in the
+// engine.  Compiled standalone for the self-containment check.

@@ -1,0 +1,48 @@
+#include "dmt/trace_buffer.hh"
+
+namespace dmt
+{
+
+u64
+TraceBuffer::append(TBEntry entry)
+{
+    DMT_ASSERT(!full(), "append to full trace buffer");
+
+    entry.id = endId();
+
+    // Trace-buffer rename: map register sources to the thread-local
+    // last writer, or to the thread input register file.
+    const Instruction &inst = entry.inst;
+    const int nsrc = inst.numSrcs();
+    for (int i = 0; i < 2; ++i) {
+        entry.src[i] = SrcRef{};
+        if (i >= nsrc)
+            continue;
+        const LogReg r = inst.src(i);
+        if (r == 0)
+            continue; // r0 reads as constant zero, no dependency
+        u64 writer;
+        if (lastWriter(r, &writer)) {
+            // The producer may already have finally retired (only for
+            // the head thread); readers then take the architectural
+            // retirement value.  SrcRef keeps the id either way.
+            entry.src[i] = SrcRef{SrcRef::TbEntry, r, writer};
+        } else {
+            entry.src[i] = SrcRef{SrcRef::ThreadInput, r, 0};
+        }
+    }
+
+    const int dest = inst.effectiveDest();
+    entry.has_dest = dest >= 0;
+    entry.dest = dest >= 0 ? static_cast<LogReg>(dest) : 0;
+    if (entry.has_dest) {
+        last_writer_[entry.dest] = entry.id;
+        has_writer[entry.dest] = 1;
+    }
+
+    entries.push_back(entry);
+    ++total_appended;
+    return entries.back().id;
+}
+
+} // namespace dmt

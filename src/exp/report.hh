@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Plain-text table rendering for the figure benches: fixed-width
+ * columns, a title block quoting the paper's series, and a footer for
+ * averages.
+ */
+
+#ifndef DMT_EXP_REPORT_HH
+#define DMT_EXP_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace dmt
+{
+
+/** Simple fixed-width table. */
+class Report
+{
+  public:
+    /**
+     * @param title figure name, e.g. "Figure 4: speedup vs threads"
+     * @param paper_note what the paper reports, for side-by-side reading
+     */
+    Report(std::string title, std::string paper_note);
+
+    /** Define columns (first column is the row label). */
+    void columns(const std::vector<std::string> &names);
+
+    /** Add a data row. */
+    void row(const std::string &label, const std::vector<double> &values);
+
+    /** Append an "average" row over all rows added so far. */
+    void averageRow(const std::string &label = "average");
+
+    /** Render everything. */
+    std::string render() const;
+
+    /** Render and print to stdout. */
+    void print() const;
+
+  private:
+    std::string title;
+    std::string paper_note;
+    std::vector<std::string> cols;
+    struct Row
+    {
+        std::string label;
+        std::vector<double> values;
+        bool is_average = false;
+    };
+    std::vector<Row> rows;
+};
+
+} // namespace dmt
+
+#endif // DMT_EXP_REPORT_HH

@@ -1,0 +1,64 @@
+#include "exp/runner.hh"
+
+#include <cstdlib>
+
+#include "common/log.hh"
+#include "dmt/engine.hh"
+#include "workloads/workloads.hh"
+
+namespace dmt
+{
+
+u64
+benchRunLength()
+{
+    if (const char *env = std::getenv("DMT_BENCH_INSTR")) {
+        const u64 v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return 60000;
+}
+
+RunResult
+runWorkload(const SimConfig &cfg, const std::string &workload,
+            u64 max_retired)
+{
+    SimConfig run_cfg = cfg;
+    run_cfg.max_retired =
+        max_retired > 0 ? max_retired : benchRunLength();
+
+    const Program prog = buildWorkload(workload);
+    DmtEngine engine(run_cfg, prog);
+    engine.run();
+
+    if (!engine.goldenOk())
+        fatal("golden mismatch on %s: %s", workload.c_str(),
+              engine.goldenError().c_str());
+
+    RunResult r;
+    r.workload = workload;
+    r.cycles = engine.stats().cycles.value();
+    r.retired = engine.stats().retired.value();
+    r.completed = engine.programCompleted();
+    r.ipc = engine.stats().ipc();
+    r.stats = engine.stats();
+    return r;
+}
+
+double
+speedupPct(const RunResult &base, const RunResult &test)
+{
+    if (test.cycles == 0)
+        return 0.0;
+    // Same retired-instruction count => cycle ratio is the speedup.
+    // (Both runs cap at the same budget; a completed program retires
+    // identically on both machines.)
+    const double base_time = static_cast<double>(base.cycles)
+        / static_cast<double>(base.retired ? base.retired : 1);
+    const double test_time = static_cast<double>(test.cycles)
+        / static_cast<double>(test.retired ? test.retired : 1);
+    return (base_time / test_time - 1.0) * 100.0;
+}
+
+} // namespace dmt

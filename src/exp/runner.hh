@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Experiment runner: executes a workload on a configured machine and
+ * returns the statistics needed by the figure benches.  All benches
+ * funnel through here so run length and verification policy are
+ * uniform.
+ */
+
+#ifndef DMT_EXP_RUNNER_HH
+#define DMT_EXP_RUNNER_HH
+
+#include <string>
+
+#include "dmt/stats.hh"
+#include "uarch/config.hh"
+
+namespace dmt
+{
+
+/** Outcome of one simulation run. */
+struct RunResult
+{
+    std::string workload;
+    u64 cycles = 0;
+    u64 retired = 0;
+    bool completed = false; ///< program HALTed before the cap
+    double ipc = 0.0;
+    DmtStats stats;
+};
+
+/**
+ * Number of instructions each benchmark run retires, overridable with
+ * the DMT_BENCH_INSTR environment variable (the paper runs 300M; the
+ * default here keeps a full figure under a minute).
+ */
+u64 benchRunLength();
+
+/**
+ * Simulate @p workload (a suite name from workloadSuite()) on @p cfg,
+ * retiring at most @p max_retired instructions (0 = benchRunLength()).
+ * Golden checking stays enabled: a bench producing wrong execution
+ * aborts rather than reporting garbage.
+ */
+RunResult runWorkload(const SimConfig &cfg, const std::string &workload,
+                      u64 max_retired = 0);
+
+/** Percentage speedup of @p test over @p base for identical work. */
+double speedupPct(const RunResult &base, const RunResult &test);
+
+} // namespace dmt
+
+#endif // DMT_EXP_RUNNER_HH

@@ -1,0 +1,55 @@
+#include "isa/disasm.hh"
+
+#include "common/strutil.hh"
+#include "isa/regs.hh"
+
+namespace dmt
+{
+
+std::string
+disassemble(const Instruction &inst, Addr pc)
+{
+    const OpInfo &info = inst.info();
+    const std::string m = info.mnemonic;
+
+    if (inst.op == Opcode::NOP || inst.op == Opcode::HALT)
+        return m;
+    if (inst.op == Opcode::OUT)
+        return m + " " + regName(inst.rs);
+    if (inst.op == Opcode::J || inst.op == Opcode::JAL)
+        return strprintf("%s 0x%x", m.c_str(), inst.jumpTarget());
+    if (inst.op == Opcode::JR)
+        return m + " " + regName(inst.rs);
+    if (inst.op == Opcode::JALR) {
+        return m + " " + regName(inst.rd) + ", " + regName(inst.rs);
+    }
+    if (inst.isCondBranch()) {
+        return strprintf("%s %s, %s, 0x%x", m.c_str(),
+                         regName(inst.rs).c_str(),
+                         regName(inst.rt).c_str(), inst.branchTarget(pc));
+    }
+    if (inst.isLoad()) {
+        return strprintf("%s %s, %d(%s)", m.c_str(),
+                         regName(inst.rd).c_str(), inst.imm,
+                         regName(inst.rs).c_str());
+    }
+    if (inst.isStore()) {
+        return strprintf("%s %s, %d(%s)", m.c_str(),
+                         regName(inst.rt).c_str(), inst.imm,
+                         regName(inst.rs).c_str());
+    }
+    if (inst.op == Opcode::LUI)
+        return strprintf("%s %s, 0x%x", m.c_str(),
+                         regName(inst.rd).c_str(), inst.imm);
+    if (info.hasImm) {
+        // ALU immediates (including shift amounts).
+        return strprintf("%s %s, %s, %d", m.c_str(),
+                         regName(inst.rd).c_str(),
+                         regName(inst.rs).c_str(), inst.imm);
+    }
+    // Three-register ALU forms.
+    return strprintf("%s %s, %s, %s", m.c_str(), regName(inst.rd).c_str(),
+                     regName(inst.rs).c_str(), regName(inst.rt).c_str());
+}
+
+} // namespace dmt

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Instruction disassembly for traces, examples and debugging.
+ */
+
+#ifndef DMT_ISA_DISASM_HH
+#define DMT_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/inst.hh"
+
+namespace dmt
+{
+
+/**
+ * Render @p inst as assembly text.  When @p pc is meaningful,
+ * branch/jump targets are shown as absolute addresses.
+ */
+std::string disassemble(const Instruction &inst, Addr pc = 0);
+
+} // namespace dmt
+
+#endif // DMT_ISA_DISASM_HH

@@ -1,0 +1,173 @@
+#include "isa/encoding.hh"
+
+#include "common/bitutils.hh"
+#include "common/strutil.hh"
+
+namespace dmt
+{
+
+namespace
+{
+
+enum class Format { R, I, JFmt };
+
+Format
+formatOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::J:
+      case Opcode::JAL:
+        return Format::JFmt;
+      case Opcode::ADDI:
+      case Opcode::ANDI:
+      case Opcode::ORI:
+      case Opcode::XORI:
+      case Opcode::SLTI:
+      case Opcode::SLTIU:
+      case Opcode::LUI:
+      case Opcode::LW:
+      case Opcode::LH:
+      case Opcode::LHU:
+      case Opcode::LB:
+      case Opcode::LBU:
+      case Opcode::SW:
+      case Opcode::SH:
+      case Opcode::SB:
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+      case Opcode::BLTU:
+      case Opcode::BGEU:
+        return Format::I;
+      default:
+        return Format::R;
+    }
+}
+
+bool
+isLogicalImm(Opcode op)
+{
+    return op == Opcode::ANDI || op == Opcode::ORI || op == Opcode::XORI
+        || op == Opcode::LUI;
+}
+
+bool
+isShiftImm(Opcode op)
+{
+    return op == Opcode::SLL || op == Opcode::SRL || op == Opcode::SRA;
+}
+
+} // namespace
+
+bool
+encodeInst(const Instruction &inst, u32 *word, std::string *err)
+{
+    const auto fail = [&](const std::string &msg) {
+        if (err)
+            *err = msg;
+        return false;
+    };
+
+    const u32 op = static_cast<u32>(inst.op);
+    if (op >= static_cast<u32>(kNumOpcodes))
+        return fail("bad opcode");
+    if (inst.rd >= 32 || inst.rs >= 32 || inst.rt >= 32)
+        return fail("register index out of range");
+
+    u32 w = insertBits(op, 31, 26);
+    switch (formatOf(inst.op)) {
+      case Format::R: {
+          if (isShiftImm(inst.op) && (inst.imm < 0 || inst.imm > 31))
+              return fail("shift amount out of range");
+          if (!isShiftImm(inst.op) && inst.imm != 0)
+              return fail("R-type carries an immediate");
+          w |= insertBits(inst.rd, 25, 21);
+          w |= insertBits(inst.rs, 20, 16);
+          w |= insertBits(inst.rt, 15, 11);
+          w |= insertBits(static_cast<u32>(inst.imm), 10, 0);
+          break;
+      }
+      case Format::I: {
+          i32 field = inst.imm;
+          if (inst.isCondBranch()) {
+              if (field & 3)
+                  return fail("branch offset not word aligned");
+              field >>= 2;
+          }
+          if (isLogicalImm(inst.op)) {
+              if (field < 0 || field > 0xFFFF)
+                  return fail(strprintf("logical immediate 0x%x out of "
+                                        "range", field));
+          } else if (field < -32768 || field > 32767) {
+              return fail(strprintf("immediate %d out of range", field));
+          }
+          // Stores and branches carry their second source in the rd slot.
+          const u32 top = (inst.isStore() || inst.isCondBranch())
+              ? inst.rt : inst.rd;
+          w |= insertBits(top, 25, 21);
+          w |= insertBits(inst.rs, 20, 16);
+          w |= insertBits(static_cast<u32>(field) & 0xFFFF, 15, 0);
+          break;
+      }
+      case Format::JFmt: {
+          const u32 target = static_cast<u32>(inst.imm);
+          if (target & 3)
+              return fail("jump target not word aligned");
+          if ((target >> 2) >= (1u << 26))
+              return fail("jump target out of 26-bit range");
+          if (inst.op == Opcode::JAL && inst.rd != 31)
+              return fail("JAL must link through r31");
+          w |= insertBits(target >> 2, 25, 0);
+          break;
+      }
+    }
+    *word = w;
+    return true;
+}
+
+Instruction
+decodeInst(u32 word)
+{
+    const u32 opField = bits(word, 31, 26);
+    if (opField >= static_cast<u32>(kNumOpcodes))
+        return makeHalt();
+
+    Instruction inst;
+    inst.op = static_cast<Opcode>(opField);
+
+    switch (formatOf(inst.op)) {
+      case Format::R:
+        inst.rd = static_cast<LogReg>(bits(word, 25, 21));
+        inst.rs = static_cast<LogReg>(bits(word, 20, 16));
+        inst.rt = static_cast<LogReg>(bits(word, 15, 11));
+        inst.imm = static_cast<i32>(bits(word, 10, 0));
+        break;
+      case Format::I: {
+          const u32 top = bits(word, 25, 21);
+          if (inst.isStore() || inst.isCondBranch()) {
+              inst.rt = static_cast<LogReg>(top);
+          } else {
+              inst.rd = static_cast<LogReg>(top);
+          }
+          inst.rs = static_cast<LogReg>(bits(word, 20, 16));
+          const u32 raw = bits(word, 15, 0);
+          if (isLogicalImm(inst.op)) {
+              inst.imm = static_cast<i32>(raw);
+          } else {
+              inst.imm = signExtend(raw, 16);
+          }
+          if (inst.isCondBranch())
+              inst.imm <<= 2;
+          break;
+      }
+      case Format::JFmt:
+        inst.imm = static_cast<i32>(bits(word, 25, 0) << 2);
+        if (inst.op == Opcode::JAL)
+            inst.rd = 31;
+        break;
+    }
+    return inst;
+}
+
+} // namespace dmt

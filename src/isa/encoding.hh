@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Binary encoding of the ISA into 32-bit words.
+ *
+ * Formats (op always in bits [31:26]):
+ *  - R-type:  op | rd[25:21] | rs[20:16] | rt[15:11] | shamt/zero[10:0]
+ *  - I-type:  op | rd[25:21] | rs[20:16] | imm16[15:0]
+ *             (stores put the data register in the rd field; branches put
+ *              the second comparison source in the rd field; branch
+ *              offsets are encoded in words, giving a +/-128KB reach)
+ *  - J-type:  op | target26[25:0] (word address)
+ */
+
+#ifndef DMT_ISA_ENCODING_HH
+#define DMT_ISA_ENCODING_HH
+
+#include <string>
+
+#include "isa/inst.hh"
+
+namespace dmt
+{
+
+/**
+ * Encode @p inst into a 32-bit word.
+ *
+ * @retval true on success.  On failure (field out of range) returns
+ * false and writes a diagnostic into @p err when non-null.
+ */
+bool encodeInst(const Instruction &inst, u32 *word, std::string *err);
+
+/**
+ * Decode a 32-bit word back into the canonical instruction form.
+ * Unknown opcodes decode as HALT (a fetch into garbage stops the
+ * offending speculative thread rather than corrupting the simulation).
+ */
+Instruction decodeInst(u32 word);
+
+} // namespace dmt
+
+#endif // DMT_ISA_ENCODING_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Opcode enumeration and static opcode traits for the simulator's
+ * MIPS-like 32-bit RISC instruction set.
+ *
+ * The ISA deliberately mirrors the SimpleScalar/MIPS subset the paper
+ * simulates: three-operand integer ALU ops, immediate forms, loads and
+ * stores of bytes/halves/words, two-register conditional branches,
+ * absolute and register jumps with a link form for procedure calls, and
+ * a HALT/OUT pair replacing syscalls so that runs are self-contained.
+ */
+
+#ifndef DMT_ISA_OPCODES_HH
+#define DMT_ISA_OPCODES_HH
+
+#include <cstdint>
+
+namespace dmt
+{
+
+enum class Opcode : std::uint8_t
+{
+    // ALU register-register
+    ADD, SUB, AND, OR, XOR, NOR,
+    SLL, SRL, SRA, SLLV, SRLV, SRAV,
+    SLT, SLTU,
+    MUL, MULH, DIV, DIVU, REM, REMU,
+    // ALU register-immediate
+    ADDI, ANDI, ORI, XORI, SLTI, SLTIU, LUI,
+    // Memory
+    LW, LH, LHU, LB, LBU, SW, SH, SB,
+    // Conditional branches (PC-relative)
+    BEQ, BNE, BLT, BGE, BLTU, BGEU,
+    // Jumps
+    J, JAL, JR, JALR,
+    // Misc
+    NOP, HALT, OUT,
+
+    NumOpcodes
+};
+
+/** Broad execution classes used by the issue stage to pick an FU. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,     ///< single-cycle integer op
+    IntMul,     ///< pipelined multiplier
+    IntDiv,     ///< unpipelined divider
+    MemRead,    ///< load
+    MemWrite,   ///< store
+    Control,    ///< branch or jump
+    Other,      ///< NOP / HALT / OUT
+};
+
+/** Static per-opcode properties. */
+struct OpInfo
+{
+    const char *mnemonic;
+    OpClass opClass;
+    bool isLoad;
+    bool isStore;
+    bool isCondBranch;
+    bool isJump;         ///< unconditional control transfer
+    bool isCall;         ///< writes a return address (JAL / JALR)
+    bool isIndirect;     ///< target comes from a register (JR / JALR)
+    bool hasImm;
+    /** Number of register sources actually read (0..2). */
+    int numSrcs;
+    /** true when the instruction writes a destination register. */
+    bool hasDest;
+};
+
+/** Lookup table access; panics on out-of-range opcode. */
+const OpInfo &opInfo(Opcode op);
+
+/** Convenience: mnemonic text for an opcode. */
+const char *mnemonic(Opcode op);
+
+/** Number of opcodes (for table sizing / iteration in tests). */
+constexpr int kNumOpcodes = static_cast<int>(Opcode::NumOpcodes);
+
+} // namespace dmt
+
+#endif // DMT_ISA_OPCODES_HH

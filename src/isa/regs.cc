@@ -1,0 +1,57 @@
+#include "isa/regs.hh"
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+
+namespace dmt
+{
+
+namespace
+{
+
+const char *kRegNames[kNumLogRegs] = {
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+};
+
+} // namespace
+
+std::string
+regName(LogReg r)
+{
+    DMT_ASSERT(r < kNumLogRegs, "register %d out of range", r);
+    return std::string("$") + kRegNames[r];
+}
+
+bool
+parseReg(std::string_view text, LogReg *out)
+{
+    text = trim(text);
+    if (text.empty())
+        return false;
+    if (text.front() == '$')
+        text.remove_prefix(1);
+    if (text.empty())
+        return false;
+
+    // Symbolic ABI name?
+    for (int i = 0; i < kNumLogRegs; ++i) {
+        if (iequals(text, kRegNames[i])) {
+            *out = static_cast<LogReg>(i);
+            return true;
+        }
+    }
+
+    // Numeric form, optionally r-prefixed.
+    if (text.front() == 'r' || text.front() == 'R')
+        text.remove_prefix(1);
+    i64 idx;
+    if (!parseInt(text, &idx) || idx < 0 || idx >= kNumLogRegs)
+        return false;
+    *out = static_cast<LogReg>(idx);
+    return true;
+}
+
+} // namespace dmt

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Architectural register naming: MIPS-style ABI aliases used by the
+ * assembler, disassembler and workload builder.
+ */
+
+#ifndef DMT_ISA_REGS_HH
+#define DMT_ISA_REGS_HH
+
+#include <string>
+#include <string_view>
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+/** ABI register numbers. */
+namespace reg
+{
+constexpr LogReg zero = 0;
+constexpr LogReg at = 1;
+constexpr LogReg v0 = 2;
+constexpr LogReg v1 = 3;
+constexpr LogReg a0 = 4;
+constexpr LogReg a1 = 5;
+constexpr LogReg a2 = 6;
+constexpr LogReg a3 = 7;
+constexpr LogReg t0 = 8;
+constexpr LogReg t1 = 9;
+constexpr LogReg t2 = 10;
+constexpr LogReg t3 = 11;
+constexpr LogReg t4 = 12;
+constexpr LogReg t5 = 13;
+constexpr LogReg t6 = 14;
+constexpr LogReg t7 = 15;
+constexpr LogReg s0 = 16;
+constexpr LogReg s1 = 17;
+constexpr LogReg s2 = 18;
+constexpr LogReg s3 = 19;
+constexpr LogReg s4 = 20;
+constexpr LogReg s5 = 21;
+constexpr LogReg s6 = 22;
+constexpr LogReg s7 = 23;
+constexpr LogReg t8 = 24;
+constexpr LogReg t9 = 25;
+constexpr LogReg k0 = 26;
+constexpr LogReg k1 = 27;
+constexpr LogReg gp = 28;
+constexpr LogReg sp = 29;
+constexpr LogReg fp = 30;
+constexpr LogReg ra = 31;
+} // namespace reg
+
+/** ABI name ("$sp") for a register number. */
+std::string regName(LogReg r);
+
+/**
+ * Parse a register operand: "$sp", "sp", "$29", "r29", "29".
+ * @retval true on success, writing the index through @p out.
+ */
+bool parseReg(std::string_view text, LogReg *out);
+
+} // namespace dmt
+
+#endif // DMT_ISA_REGS_HH

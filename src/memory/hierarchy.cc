@@ -1,0 +1,43 @@
+#include "memory/hierarchy.hh"
+
+namespace dmt
+{
+
+MemHierarchy::MemHierarchy(const HierarchyParams &params)
+    : params_(params), l1i_(params.l1i), l1d_(params.l1d), l2_(params.l2)
+{
+}
+
+Cycle
+MemHierarchy::instAccess(Addr addr)
+{
+    if (params_.perfect_icache)
+        return 0;
+    if (l1i_.access(addr, false))
+        return 0;
+    if (l2_.access(addr, false))
+        return params_.l1_miss_penalty;
+    return params_.l1_miss_penalty + params_.l2_miss_penalty;
+}
+
+Cycle
+MemHierarchy::dataAccess(Addr addr, bool write)
+{
+    if (params_.perfect_dcache)
+        return 0;
+    if (l1d_.access(addr, write))
+        return 0;
+    if (l2_.access(addr, write))
+        return params_.l1_miss_penalty;
+    return params_.l1_miss_penalty + params_.l2_miss_penalty;
+}
+
+void
+MemHierarchy::reset()
+{
+    l1i_.reset();
+    l1d_.reset();
+    l2_.reset();
+}
+
+} // namespace dmt

@@ -1,0 +1,19 @@
+#include "sim/arch_state.hh"
+
+#include "casm/program.hh"
+
+namespace dmt
+{
+
+void
+ArchState::reset(const Program &prog)
+{
+    regs.fill(0);
+    regs[29] = Program::kStackTop; // $sp
+    regs[28] = Program::kDataBase; // $gp
+    pc = prog.entry;
+    halted = false;
+    output.clear();
+}
+
+} // namespace dmt

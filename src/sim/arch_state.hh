@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Architectural register state shared by the functional simulator and
+ * the golden checker.
+ */
+
+#ifndef DMT_SIM_ARCH_STATE_HH
+#define DMT_SIM_ARCH_STATE_HH
+
+#include <array>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+class Program;
+
+/** Architected machine state: registers, PC, halt flag, output stream. */
+struct ArchState
+{
+    std::array<u32, kNumLogRegs> regs{};
+    Addr pc = 0;
+    bool halted = false;
+    /** Values emitted by the OUT instruction, in program order. */
+    std::vector<u32> output;
+
+    /** Reset to the program's initial conditions (entry PC, stack). */
+    void reset(const Program &prog);
+
+    u32
+    reg(LogReg r) const
+    {
+        return r == 0 ? 0 : regs[r];
+    }
+
+    void
+    setReg(LogReg r, u32 v)
+    {
+        if (r != 0)
+            regs[r] = v;
+    }
+};
+
+} // namespace dmt
+
+#endif // DMT_SIM_ARCH_STATE_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Flat byte-addressable main memory with sparse page allocation.
+ * Little-endian, 32-bit address space.  Accesses are size-aligned by
+ * masking low address bits (the ISA has no unaligned accesses; masking
+ * keeps speculative wild addresses deterministic and harmless).
+ */
+
+#ifndef DMT_SIM_MAINMEM_HH
+#define DMT_SIM_MAINMEM_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+class Program;
+
+/** Sparse simulated memory. */
+class MainMemory
+{
+  public:
+    static constexpr u32 kPageBits = 16;
+    static constexpr u32 kPageSize = 1u << kPageBits;
+
+    MainMemory() = default;
+
+    /** Copyable so the golden checker can fork state. */
+    MainMemory(const MainMemory &other);
+    MainMemory &operator=(const MainMemory &other);
+
+    /** Zero everything. */
+    void clear();
+
+    /** Initialize the data segment from @p prog. */
+    void loadProgram(const Program &prog);
+
+    u8 read8(Addr addr) const;
+    u16 read16(Addr addr) const;
+    u32 read32(Addr addr) const;
+
+    void write8(Addr addr, u8 value);
+    void write16(Addr addr, u16 value);
+    void write32(Addr addr, u32 value);
+
+    /** Generic read of 1/2/4 bytes with optional sign extension. */
+    u32 read(Addr addr, int bytes, bool sign_extend) const;
+
+    /** Generic write of 1/2/4 bytes. */
+    void write(Addr addr, int bytes, u32 value);
+
+    /** Number of pages currently allocated (for tests). */
+    size_t numPages() const { return pages.size(); }
+
+  private:
+    using Page = std::vector<u8>;
+
+    const Page *findPage(Addr addr) const;
+    Page &touchPage(Addr addr);
+
+    std::unordered_map<u32, std::unique_ptr<Page>> pages;
+};
+
+} // namespace dmt
+
+#endif // DMT_SIM_MAINMEM_HH

@@ -1,0 +1,92 @@
+#include "uarch/config.hh"
+
+#include "common/log.hh"
+#include "common/strutil.hh"
+
+namespace dmt
+{
+
+int
+SimConfig::physRegCount() const
+{
+    if (phys_regs > 0)
+        return phys_regs;
+    // Registers are freed at early retirement (results live on in the
+    // trace buffer data array), so live registers are bounded by the
+    // in-pipeline population; the rest is headroom for same-cycle
+    // transients and per-thread state.
+    return 2 * window_size + 64 * max_threads + 128;
+}
+
+int
+SimConfig::lqSize() const
+{
+    return lq_size > 0 ? lq_size : tb_size / 4;
+}
+
+int
+SimConfig::sqSize() const
+{
+    return sq_size > 0 ? sq_size : tb_size / 4;
+}
+
+void
+SimConfig::validate() const
+{
+    if (max_threads < 1 || max_threads > 64)
+        fatal("max_threads %d out of range", max_threads);
+    if (fetch_ports < 1 || fetch_block < 1)
+        fatal("bad fetch configuration");
+    if (window_size < fetch_block)
+        fatal("window smaller than one fetch block");
+    if (tb_size < 8)
+        fatal("trace buffer too small (%d)", tb_size);
+    if (lqSize() < 1 || sqSize() < 1)
+        fatal("load/store queues too small");
+    if (tb_latency < 0 || tb_read_block < 0)
+        fatal("bad trace buffer timing");
+    if (lat_alu < 1 || lat_mul < 1 || lat_div < 1 || lat_mem < 1)
+        fatal("latencies must be at least 1 cycle");
+}
+
+SimConfig
+SimConfig::baseline()
+{
+    SimConfig c;
+    c.max_threads = 1;
+    c.spawn_on_call = false;
+    c.spawn_on_loop = false;
+    c.fetch_ports = 1;
+    c.fetch_block = 4;
+    c.window_size = 128;
+    c.unlimited_fus = true;
+    return c;
+}
+
+SimConfig
+SimConfig::dmt(int threads, int ports)
+{
+    SimConfig c;
+    c.max_threads = threads;
+    c.fetch_ports = ports;
+    c.fetch_block = 4;
+    c.window_size = 128;
+    c.unlimited_fus = true;
+    c.tb_size = 500;
+    return c;
+}
+
+std::string
+SimConfig::summary() const
+{
+    return strprintf(
+        "%s threads=%d ports=%d window=%d tb=%d/%d/%d fus=%s",
+        isDmt() ? "DMT" : "base", max_threads, fetch_ports, window_size,
+        tb_size, tb_latency, tb_read_block,
+        unlimited_fus ? "unlimited"
+                      : strprintf("%dalu/%dmd/%dmem", fus.alu, fus.muldiv,
+                                  fus.mem_ports)
+                            .c_str());
+}
+
+} // namespace dmt

@@ -1,0 +1,57 @@
+#include "uarch/physregs.hh"
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+PhysRegFile::PhysRegFile(int count)
+{
+    DMT_ASSERT(count > 0, "empty register file");
+    values.assign(static_cast<size_t>(count), 0);
+    ready_.assign(static_cast<size_t>(count), 0);
+    alloc_.assign(static_cast<size_t>(count), 0);
+    free_list.reserve(static_cast<size_t>(count));
+    for (int i = count - 1; i >= 0; --i)
+        free_list.push_back(i);
+}
+
+size_t
+PhysRegFile::check(PhysReg p) const
+{
+    DMT_ASSERT(p >= 0 && p < count(), "phys reg %d out of range", p);
+    return static_cast<size_t>(p);
+}
+
+PhysReg
+PhysRegFile::alloc()
+{
+    if (free_list.empty())
+        return kNoPhysReg;
+    const PhysReg p = free_list.back();
+    free_list.pop_back();
+    DMT_ASSERT(!alloc_[static_cast<size_t>(p)], "alloc of live reg %d", p);
+    alloc_[static_cast<size_t>(p)] = 1;
+    ready_[static_cast<size_t>(p)] = 0;
+    return p;
+}
+
+void
+PhysRegFile::free(PhysReg p)
+{
+    const size_t i = check(p);
+    DMT_ASSERT(alloc_[i], "double free of phys reg %d", p);
+    alloc_[i] = 0;
+    free_list.push_back(p);
+}
+
+void
+PhysRegFile::write(PhysReg p, u32 v)
+{
+    const size_t i = check(p);
+    DMT_ASSERT(alloc_[i], "write to free phys reg %d", p);
+    values[i] = v;
+    ready_[i] = 1;
+}
+
+} // namespace dmt

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared physical register file with free list.  Values and ready bits
+ * only; wakeup lists are owned by the engine.  Double-free and
+ * use-after-free are checked with allocation bits because register
+ * lifetime bugs are the classic failure mode of this design.
+ */
+
+#ifndef DMT_UARCH_PHYSREGS_HH
+#define DMT_UARCH_PHYSREGS_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+/** Physical register file + free list. */
+class PhysRegFile
+{
+  public:
+    explicit PhysRegFile(int count);
+
+    /** Allocate a register (not-ready); kNoPhysReg when exhausted. */
+    PhysReg alloc();
+
+    /** Return a register to the free list. */
+    void free(PhysReg p);
+
+    bool ready(PhysReg p) const { return ready_[check(p)]; }
+    u32 value(PhysReg p) const { return values[check(p)]; }
+    bool allocated(PhysReg p) const { return alloc_[check(p)]; }
+
+    /** Write a value and mark ready. */
+    void write(PhysReg p, u32 v);
+
+    int numFree() const { return static_cast<int>(free_list.size()); }
+    int count() const { return static_cast<int>(values.size()); }
+
+  private:
+    size_t check(PhysReg p) const;
+
+    std::vector<u32> values;
+    std::vector<u8> ready_;
+    std::vector<u8> alloc_;
+    std::vector<PhysReg> free_list;
+};
+
+} // namespace dmt
+
+#endif // DMT_UARCH_PHYSREGS_HH

@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Small self-checking programs used by the test suite and the examples.
+ * Each returns a finished Program that OUTs its result(s) and HALTs.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "casm/builder.hh"
+#include "common/rng.hh"
+
+namespace dmt
+{
+
+using namespace reg;
+
+Program
+mkFibRecursive(int n)
+{
+    AsmBuilder b;
+    const auto fib = b.newLabel("fib");
+
+    // main
+    b.li(a0, static_cast<u32>(n));
+    b.jal(fib);
+    b.out(v0);
+    b.halt();
+
+    // fib(n): n < 2 ? n : fib(n-1) + fib(n-2)
+    b.bind(fib);
+    const auto recurse = b.newLabel();
+    b.slti(t0, a0, 2);
+    b.beqz(t0, recurse);
+    b.move(v0, a0);
+    b.ret();
+
+    b.bind(recurse);
+    b.addi(sp, sp, -12);
+    b.sw(ra, 8, sp);
+    b.sw(s0, 4, sp);
+    b.sw(a0, 0, sp);
+    b.addi(a0, a0, -1);
+    b.jal(fib);
+    b.move(s0, v0);
+    b.lw(a0, 0, sp);
+    b.addi(a0, a0, -2);
+    b.jal(fib);
+    b.add(v0, v0, s0);
+    b.lw(s0, 4, sp);
+    b.lw(ra, 8, sp);
+    b.addi(sp, sp, 12);
+    b.ret();
+
+    return b.finish();
+}
+
+Program
+mkSumLoop(int n)
+{
+    AsmBuilder b;
+    const auto loop = b.newLabel("loop");
+
+    b.li(t0, 0);                       // i
+    b.li(t1, 0);                       // sum
+    b.li(t2, static_cast<u32>(n));
+    b.bind(loop);
+    b.add(t1, t1, t0);
+    b.addi(t0, t0, 1);
+    b.blt(t0, t2, loop);
+    b.out(t1);
+    b.halt();
+    return b.finish();
+}
+
+Program
+mkMatmul(int n)
+{
+    AsmBuilder b;
+    Rng gen(0x1234abcdu);
+
+    std::vector<u32> a_init;
+    std::vector<u32> b_init;
+    for (int i = 0; i < n * n; ++i) {
+        a_init.push_back(gen.next32() % 1000);
+        b_init.push_back(gen.next32() % 1000);
+    }
+
+    const auto la_ = b.newLabel("mat_a");
+    const auto lb_ = b.newLabel("mat_b");
+    const auto lc_ = b.newLabel("mat_c");
+    b.bindData(la_);
+    b.dataWords(a_init);
+    b.bindData(lb_);
+    b.dataWords(b_init);
+    b.bindData(lc_);
+    b.dataSpace(static_cast<u32>(n * n * 4));
+
+    // Registers: s0=a, s1=b, s2=c, s3=i, s4=j, s5=k, s6=acc, s7=n
+    b.la(s0, la_);
+    b.la(s1, lb_);
+    b.la(s2, lc_);
+    b.li(s7, static_cast<u32>(n));
+
+    const auto iloop = b.newLabel();
+    const auto jloop = b.newLabel();
+    const auto kloop = b.newLabel();
+    b.li(s3, 0);
+    b.bind(iloop);
+    b.li(s4, 0);
+    b.bind(jloop);
+    b.li(s5, 0);
+    b.li(s6, 0);
+    b.bind(kloop);
+    // acc += a[i*n+k] * b[k*n+j]
+    b.mul(t0, s3, s7);
+    b.add(t0, t0, s5);
+    b.sll(t0, t0, 2);
+    b.add(t0, t0, s0);
+    b.lw(t1, 0, t0);
+    b.mul(t2, s5, s7);
+    b.add(t2, t2, s4);
+    b.sll(t2, t2, 2);
+    b.add(t2, t2, s1);
+    b.lw(t3, 0, t2);
+    b.mul(t4, t1, t3);
+    b.add(s6, s6, t4);
+    b.addi(s5, s5, 1);
+    b.blt(s5, s7, kloop);
+    // c[i*n+j] = acc
+    b.mul(t0, s3, s7);
+    b.add(t0, t0, s4);
+    b.sll(t0, t0, 2);
+    b.add(t0, t0, s2);
+    b.sw(s6, 0, t0);
+    b.addi(s4, s4, 1);
+    b.blt(s4, s7, jloop);
+    b.addi(s3, s3, 1);
+    b.blt(s3, s7, iloop);
+
+    // checksum = xor of c
+    const auto sumloop = b.newLabel();
+    b.li(t0, 0);                      // idx
+    b.mul(t1, s7, s7);                // n*n
+    b.li(t2, 0);                      // xor acc
+    b.bind(sumloop);
+    b.sll(t3, t0, 2);
+    b.add(t3, t3, s2);
+    b.lw(t4, 0, t3);
+    b.xor_(t2, t2, t4);
+    b.addi(t0, t0, 1);
+    b.blt(t0, t1, sumloop);
+    b.out(t2);
+    b.halt();
+    return b.finish();
+}
+
+Program
+mkSort(int n)
+{
+    AsmBuilder b;
+    Rng gen(0x5eedu + static_cast<u64>(n));
+    std::vector<u32> init;
+    for (int i = 0; i < n; ++i)
+        init.push_back(gen.next32() & 0xFFFF);
+
+    const auto arr = b.newLabel("arr");
+    b.bindData(arr);
+    b.dataWords(init);
+
+    b.la(s0, arr);
+    b.li(s1, static_cast<u32>(n));
+
+    // Bubble sort.
+    const auto outer = b.newLabel();
+    const auto inner = b.newLabel();
+    const auto noswap = b.newLabel();
+    const auto inner_end = b.newLabel();
+    b.li(s2, 0); // i
+    b.bind(outer);
+    b.li(s3, 0); // j
+    b.sub(t9, s1, s2);
+    b.addi(t9, t9, -1); // limit = n - i - 1
+    b.blez(t9, inner_end);
+    b.bind(inner);
+    b.sll(t0, s3, 2);
+    b.add(t0, t0, s0);
+    b.lw(t1, 0, t0);
+    b.lw(t2, 4, t0);
+    b.bge(t2, t1, noswap);
+    b.sw(t2, 0, t0);
+    b.sw(t1, 4, t0);
+    b.bind(noswap);
+    b.addi(s3, s3, 1);
+    b.blt(s3, t9, inner);
+    b.bind(inner_end);
+    b.addi(s2, s2, 1);
+    b.addi(t8, s1, -1);
+    b.blt(s2, t8, outer);
+
+    // Emit min, max, xor checksum.
+    b.lw(t0, 0, s0);
+    b.out(t0);
+    b.addi(t1, s1, -1);
+    b.sll(t1, t1, 2);
+    b.add(t1, t1, s0);
+    b.lw(t2, 0, t1);
+    b.out(t2);
+    const auto ck = b.newLabel();
+    b.li(t3, 0);
+    b.li(t4, 0);
+    b.bind(ck);
+    b.sll(t5, t3, 2);
+    b.add(t5, t5, s0);
+    b.lw(t6, 0, t5);
+    b.xor_(t4, t4, t6);
+    b.addi(t3, t3, 1);
+    b.blt(t3, s1, ck);
+    b.out(t4);
+    b.halt();
+    return b.finish();
+}
+
+Program
+mkLinkedList(int n)
+{
+    AsmBuilder b;
+    const auto heap = b.newLabel("heap");
+    b.bindData(heap);
+    b.dataSpace(static_cast<u32>(n * 8 + 8));
+
+    // Build: node[i] = {value = i*i + 1, next = &node[i+1]}, last -> 0.
+    const auto build = b.newLabel();
+    const auto linked = b.newLabel();
+    const auto walk = b.newLabel();
+    const auto done = b.newLabel();
+    b.la(s0, heap);
+    b.li(s1, static_cast<u32>(n));
+    b.li(t0, 0);     // i
+    b.move(t1, s0);  // cursor
+    b.bind(build);
+    b.mul(t2, t0, t0);
+    b.addi(t2, t2, 1);
+    b.sw(t2, 0, t1);
+    b.addi(t3, t1, 8);
+    b.addi(t4, t0, 1);
+    b.bne(t4, s1, linked);
+    b.li(t3, 0);     // last node: null next
+    b.bind(linked);
+    b.sw(t3, 4, t1);
+    b.addi(t1, t1, 8);
+    b.addi(t0, t0, 1);
+    b.blt(t0, s1, build);
+
+    // Walk: sum values following next pointers.
+    b.move(t1, s0);
+    b.li(s2, 0);
+    b.bind(walk);
+    b.beqz(t1, done);
+    b.lw(t2, 0, t1);
+    b.add(s2, s2, t2);
+    b.lw(t1, 4, t1);
+    b.b(walk);
+    b.bind(done);
+    b.out(s2);
+    b.halt();
+    return b.finish();
+}
+
+Program
+mkCallChain(int n)
+{
+    AsmBuilder b;
+    const auto leaf = b.newLabel("leaf");
+    const auto loop = b.newLabel();
+
+    b.li(s0, 0);                     // accumulator
+    b.li(s1, static_cast<u32>(n));
+    b.li(s2, 0);                     // i
+    b.bind(loop);
+    b.move(a0, s2);
+    b.jal(leaf);
+    b.add(s0, s0, v0);
+    b.addi(s2, s2, 1);
+    b.blt(s2, s1, loop);
+    b.out(s0);
+    b.halt();
+
+    // leaf(x) = x*2 + 7
+    b.bind(leaf);
+    b.sll(v0, a0, 1);
+    b.addi(v0, v0, 7);
+    b.ret();
+    return b.finish();
+}
+
+Program
+mkBranchy(int n)
+{
+    AsmBuilder b;
+    const auto loop = b.newLabel();
+    const auto b1 = b.newLabel();
+    const auto b2 = b.newLabel();
+    const auto next = b.newLabel();
+
+    b.li(s0, 0x1357u);   // xorshift state
+    b.li(s1, static_cast<u32>(n));
+    b.li(s2, 0);         // i
+    b.li(s3, 0);         // count of bit0
+    b.li(s4, 0);         // count of bit3
+    b.bind(loop);
+    // xorshift32
+    b.sll(t0, s0, 13);
+    b.xor_(s0, s0, t0);
+    b.srl(t0, s0, 17);
+    b.xor_(s0, s0, t0);
+    b.sll(t0, s0, 5);
+    b.xor_(s0, s0, t0);
+    // data-dependent branches
+    b.andi(t1, s0, 1);
+    b.beqz(t1, b1);
+    b.addi(s3, s3, 1);
+    b.bind(b1);
+    b.andi(t2, s0, 8);
+    b.beqz(t2, b2);
+    b.addi(s4, s4, 1);
+    b.b(next);
+    b.bind(b2);
+    b.addi(s4, s4, 0);
+    b.bind(next);
+    b.addi(s2, s2, 1);
+    b.blt(s2, s1, loop);
+    b.out(s3);
+    b.out(s4);
+    b.out(s0);
+    b.halt();
+    return b.finish();
+}
+
+Program
+mkAliasStress(int n)
+{
+    AsmBuilder b;
+    const auto buf = b.newLabel("buf");
+    b.bindData(buf);
+    b.dataSpace(256);
+
+    const auto loop = b.newLabel();
+    b.la(s0, buf);
+    b.li(s1, static_cast<u32>(n));
+    b.li(s2, 0);  // i
+    b.li(s3, 0);  // acc
+    b.bind(loop);
+    // word slot = (i * 7) % 32
+    b.mul(t0, s2, s2);
+    b.addi(t0, t0, 7);
+    b.andi(t0, t0, 31);
+    b.sll(t0, t0, 2);
+    b.add(t0, t0, s0);
+    // store a word, read back bytes and halves (contained forwards)
+    b.sw(s2, 0, t0);
+    b.lbu(t1, 0, t0);
+    b.lhu(t2, 2, t0);
+    b.add(s3, s3, t1);
+    b.add(s3, s3, t2);
+    // store a byte then load the containing word (partial overlap)
+    b.sb(s2, 1, t0);
+    b.lw(t3, 0, t0);
+    b.xor_(s3, s3, t3);
+    b.addi(s2, s2, 1);
+    b.blt(s2, s1, loop);
+    b.out(s3);
+    b.halt();
+    return b.finish();
+}
+
+Program
+mkDeepRecursion(int depth)
+{
+    AsmBuilder b;
+    const auto rec = b.newLabel("rec");
+
+    b.li(a0, static_cast<u32>(depth));
+    b.jal(rec);
+    b.out(v0);
+    b.halt();
+
+    // rec(n): if n == 0 return 1; return rec(n-1)*2 + n (saving s-regs)
+    b.bind(rec);
+    const auto go = b.newLabel();
+    b.bnez(a0, go);
+    b.li(v0, 1);
+    b.ret();
+    b.bind(go);
+    b.addi(sp, sp, -16);
+    b.sw(ra, 12, sp);
+    b.sw(s0, 8, sp);
+    b.sw(s1, 4, sp);
+    b.sw(a0, 0, sp);
+    b.move(s0, a0);
+    b.addi(s1, a0, 100);
+    b.addi(a0, a0, -1);
+    b.jal(rec);
+    b.sll(v0, v0, 1);
+    b.lw(t0, 0, sp);
+    b.add(v0, v0, t0);
+    b.sub(v0, v0, s1);
+    b.add(v0, v0, s0);
+    b.addi(v0, v0, 100);
+    b.lw(s1, 4, sp);
+    b.lw(s0, 8, sp);
+    b.lw(ra, 12, sp);
+    b.addi(sp, sp, 16);
+    b.ret();
+    return b.finish();
+}
+
+Program
+mkLoopBreak(int outer, int inner)
+{
+    AsmBuilder b;
+    const auto oloop = b.newLabel();
+    const auto iloop = b.newLabel();
+    const auto brk = b.newLabel();
+    const auto icont = b.newLabel();
+
+    b.li(s0, 0);                        // i
+    b.li(s1, static_cast<u32>(outer));
+    b.li(s2, static_cast<u32>(inner));
+    b.li(s5, 0);                        // acc
+    b.bind(oloop);
+    b.li(s3, 0);                        // j
+    b.bind(iloop);
+    b.add(s5, s5, s3);
+    // break when (i + j) & 15 == 13 — an unusual loop exit
+    b.add(t0, s0, s3);
+    b.andi(t0, t0, 15);
+    b.addi(t1, t0, -13);
+    b.beqz(t1, brk);
+    b.addi(s3, s3, 1);
+    b.blt(s3, s2, iloop);
+    b.b(icont);
+    b.bind(brk);
+    b.addi(s5, s5, 1000);
+    b.bind(icont);
+    b.addi(s0, s0, 1);
+    b.blt(s0, s1, oloop);
+    b.out(s5);
+    b.halt();
+    return b.finish();
+}
+
+} // namespace dmt

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * "compress"-like workload: LZW-style compression over a synthetic
+ * byte stream with realistic repetition, using an open-addressing hash
+ * table of (prefix, symbol) pairs.  Mimics 129.compress: a hot loop
+ * with hash probing, data-dependent branches and procedure calls per
+ * symbol.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "casm/builder.hh"
+#include "common/rng.hh"
+
+namespace dmt
+{
+
+using namespace reg;
+
+Program
+buildCompress()
+{
+    constexpr int kInputBytes = 5000;
+    constexpr int kTableSize = 16384; // entries of {key, code}
+
+    AsmBuilder b;
+
+    // Synthetic compressible input: random phrases repeated.
+    Rng gen(0xC0DEC0DEu);
+    std::vector<u8> input;
+    std::vector<u8> phrase;
+    while (static_cast<int>(input.size()) < kInputBytes) {
+        if (phrase.empty() || gen.chance(0.3)) {
+            phrase.clear();
+            const int len = static_cast<int>(gen.range(3, 9));
+            for (int i = 0; i < len; ++i)
+                phrase.push_back(static_cast<u8>(gen.range('a', 'p')));
+        }
+        input.insert(input.end(), phrase.begin(), phrase.end());
+    }
+    input.resize(kInputBytes);
+
+    const auto input_l = b.newLabel("input");
+    b.bindData(input_l);
+    b.dataBytes(input);
+    b.dataAlign(4);
+    const auto table_l = b.newLabel("hash_table");
+    b.bindData(table_l);
+    b.dataSpace(kTableSize * 8);
+
+    const auto out_l = b.newLabel("outbuf");
+    b.bindData(out_l);
+    b.dataSpace(32 * 1024);
+    const auto freq_l = b.newLabel("freq");
+    b.bindData(freq_l);
+    b.dataSpace(256 * 4);
+
+    const auto lookup = b.newLabel("ht_lookup");
+    const auto insert = b.newLabel("ht_insert");
+    const auto putcode = b.newLabel("put_code");
+
+    // ---- main ----------------------------------------------------------
+    // s0 = input cursor, s1 = end, s2 = prefix code, s3 = checksum,
+    // s4 = next free code, s5 = table base
+    b.la(s0, input_l);
+    b.addi(s1, s0, kInputBytes);
+    b.la(s5, table_l);
+    b.li(s4, 256);
+    b.li(s3, 0);
+    b.li(s7, 0);
+    b.lbu(s2, 0, s0);   // first symbol becomes the initial prefix
+    b.addi(s0, s0, 1);
+
+    const auto loop = b.newLabel();
+    const auto miss = b.newLabel();
+    const auto next = b.newLabel();
+    const auto flush = b.newLabel();
+    b.bind(loop);
+    b.bge(s0, s1, flush);
+    b.lbu(s6, 0, s0);       // ch
+    b.addi(s0, s0, 1);
+    // key = (prefix << 8) | ch   (prefix < 2^20)
+    b.sll(a0, s2, 8);
+    b.or_(a0, a0, s6);
+    b.jal(lookup);
+    b.bltz(v0, miss);
+    b.move(s2, v0);         // extend the prefix
+    b.b(next);
+    b.bind(miss);
+    // emit prefix, insert (prefix, ch) -> next code, restart at ch
+    b.sll(t0, s3, 7);
+    b.add(t0, t0, s3);      // checksum*129
+    b.add(s3, t0, s2);
+    b.move(a0, s2);
+    b.jal(putcode);         // pack the emitted code into the output
+    b.sll(a0, s2, 8);
+    b.or_(a0, a0, s6);
+    b.move(a1, s4);
+    b.addi(s4, s4, 1);
+    b.jal(insert);
+    b.move(s2, s6);
+    b.bind(next);
+    // Per-symbol bookkeeping: frequency count and running entropy-ish
+    // accumulator (compress95 does block checks and ratio monitoring —
+    // real loop bodies are much fatter than hash-probe alone).
+    b.la(t0, freq_l);
+    b.andi(t1, s6, 0xFF);
+    b.sll(t1, t1, 2);
+    b.add(t1, t1, t0);
+    b.lw(t2, 0, t1);
+    b.addi(t2, t2, 1);
+    b.sw(t2, 0, t1);
+    b.srl(t3, t2, 2);
+    b.xor_(t3, t3, s6);
+    b.sll(t4, t3, 1);
+    b.add(t3, t3, t4);
+    b.andi(t3, t3, 0x3FF);
+    b.add(s7, s7, t3);
+    b.b(loop);
+    b.bind(flush);
+    b.sll(t0, s3, 7);
+    b.add(t0, t0, s3);
+    b.add(s3, t0, s2);
+    b.out(s3);
+    b.out(s4);
+    b.out(s7);
+    b.halt();
+
+    // ---- put_code(code): bit-pack into the output buffer ------------------
+    // Uses t8/t9-side registers only; clobbers t0..t5.
+    b.bind(putcode);
+    {
+        // Static cursor kept in the data segment: [0] byte offset,
+        // [4] bit offset, [8] running parity.
+        const auto cur_l = b.newLabel("out_cursor");
+        b.bindData(cur_l);
+        b.dataWords({0, 0, 0});
+        b.la(t0, cur_l);
+        b.lw(t1, 0, t0);        // byte offset
+        b.lw(t2, 4, t0);        // bit offset
+        b.la(t3, out_l);
+        b.add(t3, t3, t1);
+        // merge 13 bits of code at the bit offset
+        b.sllv(t4, a0, t2);
+        b.lw(t5, 0, t3);
+        b.xor_(t5, t5, t4);
+        b.sw(t5, 0, t3);
+        b.addi(t2, t2, 13);
+        const auto no_spill = b.newLabel();
+        b.slti(t4, t2, 32);
+        b.bnez(t4, no_spill);
+        b.addi(t2, t2, -32);
+        b.addi(t1, t1, 4);
+        b.andi(t1, t1, 0x3FFF); // wrap the output buffer
+        b.bind(no_spill);
+        b.sw(t1, 0, t0);
+        b.sw(t2, 4, t0);
+        b.lw(t5, 8, t0);
+        b.xor_(t5, t5, a0);
+        b.sw(t5, 8, t0);
+        b.ret();
+    }
+
+    // ---- ht_lookup(key) -> code or -1 -----------------------------------
+    // Open addressing, linear probing.  Empty slots have key == 0.
+    b.bind(lookup);
+    // h = (key * 2654435761) >> 20, masked
+    b.li(t0, 2654435761u);
+    b.mul(t1, a0, t0);
+    b.srl(t1, t1, 20);
+    b.andi(t1, t1, kTableSize - 1);
+    const auto probe = b.newLabel();
+    const auto found = b.newLabel();
+    const auto empty = b.newLabel();
+    b.bind(probe);
+    b.sll(t2, t1, 3);
+    b.add(t2, t2, s5);
+    b.lw(t3, 0, t2);        // stored key
+    b.beqz(t3, empty);
+    b.beq(t3, a0, found);
+    b.addi(t1, t1, 1);
+    b.andi(t1, t1, kTableSize - 1);
+    b.b(probe);
+    b.bind(found);
+    b.lw(v0, 4, t2);
+    b.ret();
+    b.bind(empty);
+    b.li(v0, 0xFFFFFFFFu);
+    b.ret();
+
+    // ---- ht_insert(key, code) -------------------------------------------
+    b.bind(insert);
+    b.li(t0, 2654435761u);
+    b.mul(t1, a0, t0);
+    b.srl(t1, t1, 20);
+    b.andi(t1, t1, kTableSize - 1);
+    const auto iprobe = b.newLabel();
+    const auto islot = b.newLabel();
+    b.bind(iprobe);
+    b.sll(t2, t1, 3);
+    b.add(t2, t2, s5);
+    b.lw(t3, 0, t2);
+    b.beqz(t3, islot);
+    b.addi(t1, t1, 1);
+    b.andi(t1, t1, kTableSize - 1);
+    b.b(iprobe);
+    b.bind(islot);
+    b.sw(a0, 0, t2);
+    b.sw(a1, 4, t2);
+    b.ret();
+
+    return b.finish();
+}
+
+} // namespace dmt

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * "gcc"-like workload: builds random expression trees in an arena,
+ * recursively evaluates them, constant-folds them in place, and
+ * re-evaluates.  Mimics 126.gcc's recursive IR walking: deep call
+ * chains, pointer-rich data, and branchy opcode dispatch.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "casm/builder.hh"
+
+namespace dmt
+{
+
+using namespace reg;
+
+Program
+buildGcc()
+{
+    constexpr int kDepth = 7;       // 2^(kDepth+1)-1 = 255 nodes/tree
+    constexpr int kTrees = 100;
+    constexpr u32 kArenaBytes = 16 * 1024;
+
+    AsmBuilder b;
+
+    const auto arena_l = b.newLabel("arena");
+    b.bindData(arena_l);
+    b.dataSpace(kArenaBytes);
+    const auto next_l = b.newLabel("arena_next");
+    b.bindData(next_l);
+    b.dataWords({0});
+
+    const auto build = b.newLabel("build_tree");
+    const auto eval = b.newLabel("eval_tree");
+    const auto fold = b.newLabel("fold_tree");
+
+    // Node layout: +0 op (0 = leaf), +4 left, +8 right, +12 val.
+
+    // ---- main ------------------------------------------------------------
+    b.li(s0, 0);  // tree index
+    b.li(s1, 0);  // checksum
+    const auto tree_loop = b.newLabel();
+    b.bind(tree_loop);
+    // Reset the arena.
+    b.la(t0, arena_l);
+    b.la(t1, next_l);
+    b.sw(t0, 0, t1);
+    // root = build(kDepth, seed)
+    b.li(a0, kDepth);
+    b.li(t2, 0x9E37u);
+    b.mul(a1, s0, t2);
+    b.addi(a1, a1, 0x79B9 & 0x7FFF);
+    b.jal(build);
+    b.move(s2, v0);
+    // checksum += eval(root)
+    b.move(a0, s2);
+    b.jal(eval);
+    b.add(s1, s1, v0);
+    // fold(root); checksum ^= eval(root)
+    b.move(a0, s2);
+    b.jal(fold);
+    b.move(a0, s2);
+    b.jal(eval);
+    b.xor_(s1, s1, v0);
+    b.addi(s0, s0, 1);
+    b.li(t3, kTrees);
+    b.blt(s0, t3, tree_loop);
+    b.out(s1);
+    b.halt();
+
+    // ---- build(depth, seed) -> node ---------------------------------------
+    b.bind(build);
+    // allocate 16 bytes
+    b.la(t0, next_l);
+    b.lw(t1, 0, t0);
+    b.addi(t2, t1, 16);
+    b.sw(t2, 0, t0);
+    const auto interior = b.newLabel();
+    b.bnez(a0, interior);
+    // leaf: val = seed ^ (seed >> 7), op = 0
+    b.sw(zero, 0, t1);
+    b.srl(t3, a1, 7);
+    b.xor_(t3, t3, a1);
+    b.sw(t3, 12, t1);
+    b.move(v0, t1);
+    b.ret();
+    b.bind(interior);
+    b.addi(sp, sp, -16);
+    b.sw(ra, 12, sp);
+    b.sw(s3, 8, sp);
+    b.sw(s4, 4, sp);
+    b.sw(s5, 0, sp);
+    b.move(s3, t1);                 // node
+    b.move(s4, a0);                 // depth
+    b.move(s5, a1);                 // seed
+    // op = 1 + (seed & 3)
+    b.andi(t4, a1, 3);
+    b.addi(t4, t4, 1);
+    b.sw(t4, 0, s3);
+    // left = build(depth-1, seed*1103515245 + 12345)
+    b.addi(a0, s4, -1);
+    b.li(t5, 1103515245u);
+    b.mul(a1, s5, t5);
+    b.addi(a1, a1, 12345);
+    b.jal(build);
+    b.sw(v0, 4, s3);
+    // right = build(depth-1, seed*69069 + 1)
+    b.addi(a0, s4, -1);
+    b.li(t5, 69069u);
+    b.mul(a1, s5, t5);
+    b.addi(a1, a1, 1);
+    b.jal(build);
+    b.sw(v0, 8, s3);
+    b.sw(zero, 12, s3);
+    b.move(v0, s3);
+    b.lw(s5, 0, sp);
+    b.lw(s4, 4, sp);
+    b.lw(s3, 8, sp);
+    b.lw(ra, 12, sp);
+    b.addi(sp, sp, 16);
+    b.ret();
+
+    // ---- eval(node) -> value ------------------------------------------------
+    b.bind(eval);
+    b.lw(t0, 0, a0);                // op
+    const auto e_interior = b.newLabel();
+    b.bnez(t0, e_interior);
+    b.lw(v0, 12, a0);
+    b.ret();
+    b.bind(e_interior);
+    b.addi(sp, sp, -12);
+    b.sw(ra, 8, sp);
+    b.sw(s3, 4, sp);
+    b.sw(s4, 0, sp);
+    b.move(s3, a0);
+    b.lw(a0, 4, s3);
+    b.jal(eval);
+    b.move(s4, v0);                 // left value
+    b.lw(a0, 8, s3);
+    b.jal(eval);                    // v0 = right value
+    // Per-node attribute pass: canonicalize the operand values with a
+    // short mixing loop (stands in for gcc's per-node bookkeeping —
+    // real gcc does far more straight-line work per IR node than a
+    // bare operator application).
+    {
+        const auto mixl = b.newLabel();
+        b.li(t6, 6);
+        b.bind(mixl);
+        b.srl(t7, s4, 3);
+        b.xor_(t7, t7, v0);
+        b.sll(t8, t7, 1);
+        b.add(t7, t7, t8);
+        b.andi(t7, t7, 0xFFF);
+        b.add(s4, s4, t7);
+        b.addi(t6, t6, -1);
+        b.bgtz(t6, mixl);
+    }
+    b.lw(t0, 0, s3);
+    {
+        const auto op2 = b.newLabel();
+        const auto op3 = b.newLabel();
+        const auto op4 = b.newLabel();
+        const auto done = b.newLabel();
+        b.addi(t1, t0, -1);
+        b.bnez(t1, op2);
+        b.add(v0, s4, v0);
+        b.b(done);
+        b.bind(op2);
+        b.addi(t1, t0, -2);
+        b.bnez(t1, op3);
+        b.sub(v0, s4, v0);
+        b.b(done);
+        b.bind(op3);
+        b.addi(t1, t0, -3);
+        b.bnez(t1, op4);
+        b.mul(v0, s4, v0);
+        b.b(done);
+        b.bind(op4);
+        b.xor_(v0, s4, v0);
+        b.bind(done);
+    }
+    b.lw(s4, 0, sp);
+    b.lw(s3, 4, sp);
+    b.lw(ra, 8, sp);
+    b.addi(sp, sp, 12);
+    b.ret();
+
+    // ---- fold(node): constant-fold in place --------------------------------
+    b.bind(fold);
+    b.lw(t0, 0, a0);
+    const auto f_interior = b.newLabel();
+    b.bnez(t0, f_interior);
+    b.ret();
+    b.bind(f_interior);
+    b.addi(sp, sp, -8);
+    b.sw(ra, 4, sp);
+    b.sw(s3, 0, sp);
+    b.move(s3, a0);
+    b.lw(a0, 4, s3);
+    b.jal(fold);
+    b.lw(a0, 8, s3);
+    b.jal(fold);
+    // Both children are now leaves: compute and become a leaf.
+    b.lw(t1, 4, s3);
+    b.lw(t2, 12, t1);               // left val
+    b.lw(t1, 8, s3);
+    b.lw(t3, 12, t1);               // right val
+    b.lw(t0, 0, s3);
+    {
+        const auto op2 = b.newLabel();
+        const auto op3 = b.newLabel();
+        const auto op4 = b.newLabel();
+        const auto done = b.newLabel();
+        b.addi(t4, t0, -1);
+        b.bnez(t4, op2);
+        b.add(t5, t2, t3);
+        b.b(done);
+        b.bind(op2);
+        b.addi(t4, t0, -2);
+        b.bnez(t4, op3);
+        b.sub(t5, t2, t3);
+        b.b(done);
+        b.bind(op3);
+        b.addi(t4, t0, -3);
+        b.bnez(t4, op4);
+        b.mul(t5, t2, t3);
+        b.b(done);
+        b.bind(op4);
+        b.xor_(t5, t2, t3);
+        b.bind(done);
+    }
+    b.sw(zero, 0, s3);
+    b.sw(t5, 12, s3);
+    b.lw(s3, 0, sp);
+    b.lw(ra, 4, sp);
+    b.addi(sp, sp, 8);
+    b.ret();
+
+    return b.finish();
+}
+
+} // namespace dmt

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * "go"-like workload: branchy board-position evaluation.  A 19x19
+ * board of small integers is scanned repeatedly; every point is scored
+ * by a called procedure full of data-dependent conditionals (neighbour
+ * counts, chains, edge heuristics), and the board is mutated between
+ * passes.  Mimics 099.go's hard-to-predict branches and moderate call
+ * density.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "casm/builder.hh"
+#include "common/rng.hh"
+
+namespace dmt
+{
+
+using namespace reg;
+
+Program
+buildGo()
+{
+    constexpr int kDim = 19;
+    constexpr int kPasses = 60;
+
+    AsmBuilder b;
+    Rng gen(0x900d900du);
+
+    std::vector<u32> board;
+    for (int i = 0; i < kDim * kDim; ++i)
+        board.push_back(gen.next32() % 3); // empty / black / white
+
+    const auto board_l = b.newLabel("board");
+    b.bindData(board_l);
+    b.dataWords(board);
+
+    const auto eval_point = b.newLabel("eval_point");
+    const auto scan = b.newLabel("scan_board");
+
+    // ---- main ----------------------------------------------------------
+    // s0 = board, s1 = pass, s2 = total score
+    b.la(s0, board_l);
+    b.li(s1, 0);
+    b.li(s2, 0);
+    const auto pass_loop = b.newLabel();
+    b.bind(pass_loop);
+    b.move(a0, s1);
+    b.jal(scan);
+    b.add(s2, s2, v0);
+    b.addi(s1, s1, 1);
+    b.li(t0, kPasses);
+    b.blt(s1, t0, pass_loop);
+    b.out(s2);
+    b.halt();
+
+    // ---- scan_board(pass) -> score ------------------------------------
+    // Calls eval_point for every interior point; mutates a point when
+    // its score crosses a threshold.
+    b.bind(scan);
+    b.addi(sp, sp, -24);
+    b.sw(ra, 20, sp);
+    b.sw(s3, 16, sp);
+    b.sw(s4, 12, sp);
+    b.sw(s5, 8, sp);
+    b.sw(s6, 4, sp);
+    b.sw(s7, 0, sp);
+    b.move(s7, a0);  // pass number
+    b.li(s3, 1);     // y
+    b.li(s5, 0);     // score accumulator
+    const auto yloop = b.newLabel();
+    const auto xloop = b.newLabel();
+    const auto no_mutate = b.newLabel();
+    b.bind(yloop);
+    b.li(s4, 1);     // x
+    b.bind(xloop);
+    b.move(a0, s4);
+    b.move(a1, s3);
+    b.jal(eval_point);
+    b.add(s5, s5, v0);
+    // Mutate the point when score+pass has low bits 0b101:
+    // board[y][x] = (board[y][x] + 1) % 3.
+    b.add(t0, v0, s7);
+    b.andi(t0, t0, 7);
+    b.addi(t0, t0, -5);
+    b.bnez(t0, no_mutate);
+    b.li(t3, kDim);
+    b.mul(t1, s3, t3);
+    b.add(t1, t1, s4);
+    b.sll(t1, t1, 2);
+    b.add(t1, t1, s0);
+    b.lw(t4, 0, t1);
+    b.addi(t4, t4, 1);
+    b.li(t5, 3);
+    b.rem(t4, t4, t5);
+    b.sw(t4, 0, t1);
+    b.bind(no_mutate);
+    b.addi(s4, s4, 1);
+    b.li(t2, kDim - 1);
+    b.blt(s4, t2, xloop);
+    b.addi(s3, s3, 1);
+    b.blt(s3, t2, yloop);
+    b.move(v0, s5);
+    b.lw(s7, 0, sp);
+    b.lw(s6, 4, sp);
+    b.lw(s5, 8, sp);
+    b.lw(s4, 12, sp);
+    b.lw(s3, 16, sp);
+    b.lw(ra, 20, sp);
+    b.addi(sp, sp, 24);
+    b.ret();
+
+    // ---- eval_point(x, y) -> score -------------------------------------
+    b.bind(eval_point);
+    // addr = board + 4*(y*19 + x); neighbours N/S/E/W
+    b.li(t9, kDim);
+    b.mul(t0, a1, t9);
+    b.add(t0, t0, a0);
+    b.sll(t0, t0, 2);
+    b.la(at, board_l);
+    b.add(t0, t0, at);
+    b.lw(t1, 0, t0);                       // me
+    b.lw(t2, -4, t0);                      // west
+    b.lw(t3, 4, t0);                       // east
+    b.lw(t4, -4 * kDim, t0);               // north
+    b.lw(t5, 4 * kDim, t0);                // south
+    b.li(v0, 0);
+
+    const auto not_empty = b.newLabel();
+    const auto count_friends = b.newLabel();
+    const auto w_done = b.newLabel();
+    const auto e_done = b.newLabel();
+    const auto n_done = b.newLabel();
+    const auto s_done = b.newLabel();
+    const auto liberties = b.newLabel();
+    const auto edge_bonus = b.newLabel();
+    const auto finish = b.newLabel();
+
+    // Empty point: score by neighbour pressure.
+    b.bnez(t1, not_empty);
+    b.add(v0, t2, t3);
+    b.add(v0, v0, t4);
+    b.add(v0, v0, t5);
+    b.b(finish);
+
+    b.bind(not_empty);
+    b.li(t6, 0); // friends
+    b.li(t7, 0); // liberties
+    b.bind(count_friends);
+    b.bne(t2, t1, w_done);
+    b.addi(t6, t6, 1);
+    b.bind(w_done);
+    b.bnez(t2, e_done);
+    b.addi(t7, t7, 1);
+    b.bind(e_done);
+    b.bne(t3, t1, n_done);
+    b.addi(t6, t6, 1);
+    b.bind(n_done);
+    b.bnez(t3, s_done);
+    b.addi(t7, t7, 1);
+    b.bind(s_done);
+    b.bne(t4, t1, liberties);
+    b.addi(t6, t6, 1);
+    b.bind(liberties);
+    b.bnez(t4, edge_bonus);
+    b.addi(t7, t7, 1);
+    b.bind(edge_bonus);
+    b.bne(t5, t1, finish);
+    b.addi(t6, t6, 2);
+
+    b.bind(finish);
+    // score = friends*3 + liberties*2 + me
+    b.sll(t8, t6, 1);
+    b.add(t8, t8, t6);
+    b.sll(t9, t7, 1);
+    b.add(v0, v0, t8);
+    b.add(v0, v0, t9);
+    b.add(v0, v0, t1);
+    b.ret();
+
+    return b.finish();
+}
+
+} // namespace dmt

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * "ijpeg"-like workload: 8x8 block transforms over a synthetic image.
+ * Per block, a called procedure runs butterfly passes over rows and
+ * columns, quantizes with a division table, and accumulates a zig-zag
+ * checksum.  Mimics 132.ijpeg: regular nested loops, multiply/divide
+ * pressure, moderate call density — the loop-thread complement to the
+ * call-heavy kernels.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "casm/builder.hh"
+#include "common/rng.hh"
+
+namespace dmt
+{
+
+using namespace reg;
+
+Program
+buildIjpeg()
+{
+    constexpr int kDim = 64;    // image is kDim x kDim words
+    constexpr int kPasses = 3;
+
+    AsmBuilder b;
+    Rng gen(0x1deadA11u);
+
+    std::vector<u32> image;
+    for (int i = 0; i < kDim * kDim; ++i)
+        image.push_back(gen.next32() & 0xFF);
+    std::vector<u32> quant = {16, 11, 10, 16, 24, 40, 51, 61};
+
+    const auto image_l = b.newLabel("image");
+    b.bindData(image_l);
+    b.dataWords(image);
+    const auto quant_l = b.newLabel("quant");
+    b.bindData(quant_l);
+    b.dataWords(quant);
+
+    const auto block = b.newLabel("transform_block");
+
+    // ---- main -------------------------------------------------------------
+    // s0 = image, s1 = pass, s2 = checksum
+    b.la(s0, image_l);
+    b.li(s1, 0);
+    b.li(s2, 0);
+    const auto pass_loop = b.newLabel();
+    const auto by_loop = b.newLabel();
+    const auto bx_loop = b.newLabel();
+    b.bind(pass_loop);
+    b.li(s3, 0); // block y
+    b.bind(by_loop);
+    b.li(s4, 0); // block x
+    b.bind(bx_loop);
+    // a0 = &image[by*8*kDim + bx*8]
+    b.li(t0, 8 * kDim);
+    b.mul(t1, s3, t0);
+    b.sll(t2, s4, 3);
+    b.add(t1, t1, t2);
+    b.sll(t1, t1, 2);
+    b.add(a0, t1, s0);
+    b.jal(block);
+    b.add(s2, s2, v0);
+    b.addi(s4, s4, 1);
+    b.li(t3, kDim / 8);
+    b.blt(s4, t3, bx_loop);
+    b.addi(s3, s3, 1);
+    b.blt(s3, t3, by_loop);
+    b.addi(s1, s1, 1);
+    b.li(t4, kPasses);
+    b.blt(s1, t4, pass_loop);
+    b.out(s2);
+    b.halt();
+
+    // ---- transform_block(base) -> checksum ---------------------------------
+    b.bind(block);
+    // Row butterflies: for each row r: for k in 0..3:
+    //   a = m[r][k]; c = m[r][7-k];
+    //   m[r][k] = a + c; m[r][7-k] = (a - c) >> 1
+    const auto row_loop = b.newLabel();
+    const auto rk_loop = b.newLabel();
+    b.li(t9, 0); // r
+    b.bind(row_loop);
+    b.li(t8, 0); // k
+    b.bind(rk_loop);
+    b.li(t0, 4 * kDim);
+    b.mul(t1, t9, t0);
+    b.add(t1, t1, a0);      // row base
+    b.sll(t2, t8, 2);
+    b.add(t2, t2, t1);      // &m[r][k]
+    b.li(t3, 7);
+    b.sub(t3, t3, t8);
+    b.sll(t3, t3, 2);
+    b.add(t3, t3, t1);      // &m[r][7-k]
+    b.lw(t4, 0, t2);
+    b.lw(t5, 0, t3);
+    b.add(t6, t4, t5);
+    b.sub(t7, t4, t5);
+    b.sra(t7, t7, 1);
+    b.sw(t6, 0, t2);
+    b.sw(t7, 0, t3);
+    b.addi(t8, t8, 1);
+    b.li(t0, 4);
+    b.blt(t8, t0, rk_loop);
+    b.addi(t9, t9, 1);
+    b.li(t0, 8);
+    b.blt(t9, t0, row_loop);
+
+    // Column quantize + zig-zag checksum:
+    // v0 accumulates m[r][c] / quant[(r+c)&7] with alternating sign.
+    const auto cq_outer = b.newLabel();
+    const auto cq_inner = b.newLabel();
+    const auto cq_cont = b.newLabel();
+    const auto no_neg = b.newLabel();
+    b.li(v0, 0);
+    b.li(t9, 0); // r
+    b.la(t8, quant_l);
+    b.bind(cq_outer);
+    b.li(t7, 0); // c
+    b.bind(cq_inner);
+    b.li(t0, 4 * kDim);
+    b.mul(t1, t9, t0);
+    b.sll(t2, t7, 2);
+    b.add(t1, t1, t2);
+    b.add(t1, t1, a0);
+    b.lw(t3, 0, t1);        // coefficient
+    b.add(t4, t9, t7);
+    b.andi(t4, t4, 7);
+    b.sll(t4, t4, 2);
+    b.add(t4, t4, t8);
+    b.lw(t5, 0, t4);        // quantizer (non-zero)
+    b.div_(t6, t3, t5);
+    b.sw(t6, 0, t1);        // store quantized value back
+    b.andi(t0, t4, 4);      // pseudo-alternating sign
+    b.beqz(t0, no_neg);
+    b.sub(v0, v0, t6);
+    b.b(cq_cont);
+    b.bind(no_neg);
+    b.add(v0, v0, t6);
+    b.bind(cq_cont);
+    b.addi(t7, t7, 1);
+    b.li(t0, 8);
+    b.blt(t7, t0, cq_inner);
+    b.addi(t9, t9, 1);
+    b.blt(t9, t0, cq_outer);
+    b.ret();
+
+    return b.finish();
+}
+
+} // namespace dmt

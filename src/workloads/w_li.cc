@@ -1,0 +1,223 @@
+/**
+ * @file
+ * "li"-like workload: a cons-cell list kernel.  Tiny allocation and
+ * accessor procedures (cons, mknum), recursive list construction,
+ * recursive summation, a recursive map (building fresh structure) and
+ * a mark pass over the arena.  Mimics 130.li: very high call density
+ * with small leaf procedures and pointer chasing.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "casm/builder.hh"
+
+namespace dmt
+{
+
+using namespace reg;
+
+Program
+buildLi()
+{
+    constexpr int kListLen = 24;
+    constexpr int kIterations = 150;
+    constexpr u32 kArenaBytes = 24 * 1024;
+
+    AsmBuilder b;
+
+    // Cell layout: +0 tag (0 = number, 1 = cons, bit 8 = mark),
+    //              +4 car (value or pointer), +8 cdr (pointer).
+    const auto arena_l = b.newLabel("cells");
+    b.bindData(arena_l);
+    b.dataSpace(kArenaBytes);
+    const auto next_l = b.newLabel("cells_next");
+    b.bindData(next_l);
+    b.dataWords({0});
+
+    const auto alloc = b.newLabel("cell_alloc");
+    const auto mknum = b.newLabel("mknum");
+    const auto cons = b.newLabel("cons");
+    const auto buildlist = b.newLabel("build_list");
+    const auto sumlist = b.newLabel("sum_list");
+    const auto maplist = b.newLabel("map_double");
+    const auto marklist = b.newLabel("mark_list");
+
+    // ---- main -------------------------------------------------------------
+    b.li(s0, 0); // iteration
+    b.li(s1, 0); // checksum
+    const auto iter_loop = b.newLabel();
+    b.bind(iter_loop);
+    // reset arena
+    b.la(t0, arena_l);
+    b.la(t1, next_l);
+    b.sw(t0, 0, t1);
+    // list = build_list(kListLen, iter)
+    b.li(a0, kListLen);
+    b.move(a1, s0);
+    b.jal(buildlist);
+    b.move(s2, v0);
+    // checksum += sum_list(list)
+    b.move(a0, s2);
+    b.jal(sumlist);
+    b.add(s1, s1, v0);
+    // doubled = map_double(list); checksum ^= sum_list(doubled)
+    b.move(a0, s2);
+    b.jal(maplist);
+    b.move(a0, v0);
+    b.jal(sumlist);
+    b.xor_(s1, s1, v0);
+    // mark_list(list); checksum += number of marked cells via sum
+    b.move(a0, s2);
+    b.jal(marklist);
+    b.add(s1, s1, v0);
+    b.addi(s0, s0, 1);
+    b.li(t2, kIterations);
+    b.blt(s0, t2, iter_loop);
+    b.out(s1);
+    b.halt();
+
+    // ---- cell_alloc() -> cell -----------------------------------------------
+    b.bind(alloc);
+    b.la(t0, next_l);
+    b.lw(v0, 0, t0);
+    b.addi(t1, v0, 12);
+    b.sw(t1, 0, t0);
+    b.ret();
+
+    // ---- mknum(v) -> cell -----------------------------------------------------
+    b.bind(mknum);
+    b.addi(sp, sp, -8);
+    b.sw(ra, 4, sp);
+    b.sw(a0, 0, sp);
+    b.jal(alloc);
+    b.lw(t0, 0, sp);
+    b.sw(zero, 0, v0);
+    b.sw(t0, 4, v0);
+    b.sw(zero, 8, v0);
+    b.lw(ra, 4, sp);
+    b.addi(sp, sp, 8);
+    b.ret();
+
+    // ---- cons(car, cdr) -> cell ----------------------------------------------
+    b.bind(cons);
+    b.addi(sp, sp, -12);
+    b.sw(ra, 8, sp);
+    b.sw(a0, 4, sp);
+    b.sw(a1, 0, sp);
+    b.jal(alloc);
+    b.li(t0, 1);
+    b.sw(t0, 0, v0);
+    b.lw(t1, 4, sp);
+    b.sw(t1, 4, v0);
+    b.lw(t2, 0, sp);
+    b.sw(t2, 8, v0);
+    b.lw(ra, 8, sp);
+    b.addi(sp, sp, 12);
+    b.ret();
+
+    // ---- build_list(n, seed) -> list -------------------------------------------
+    // Recursive: build_list(0) = nil (0); else cons(mknum(f(n,seed)),
+    // build_list(n-1, seed)).
+    b.bind(buildlist);
+    const auto bl_rec = b.newLabel();
+    b.bnez(a0, bl_rec);
+    b.li(v0, 0);
+    b.ret();
+    b.bind(bl_rec);
+    b.addi(sp, sp, -12);
+    b.sw(ra, 8, sp);
+    b.sw(s3, 4, sp);
+    b.sw(s4, 0, sp);
+    b.move(s3, a0);
+    b.move(s4, a1);
+    b.addi(a0, a0, -1);
+    b.jal(buildlist);
+    b.move(a1, v0);                  // cdr = recursive tail
+    b.mul(t0, s3, s4);
+    b.addi(a0, t0, 17);
+    b.xor_(a0, a0, s3);
+    b.jal(mknum);                    // leaves a1 (the tail) untouched
+    b.move(a0, v0);                  // car cell
+    b.jal(cons);
+    b.lw(s4, 0, sp);
+    b.lw(s3, 4, sp);
+    b.lw(ra, 8, sp);
+    b.addi(sp, sp, 12);
+    b.ret();
+
+    // ---- sum_list(list) -> sum ---------------------------------------------------
+    b.bind(sumlist);
+    const auto sl_rec = b.newLabel();
+    b.bnez(a0, sl_rec);
+    b.li(v0, 0);
+    b.ret();
+    b.bind(sl_rec);
+    b.addi(sp, sp, -8);
+    b.sw(ra, 4, sp);
+    b.sw(s3, 0, sp);
+    b.lw(t0, 4, a0);                 // car cell
+    b.lw(s3, 4, t0);                 // its number
+    b.lw(a0, 8, a0);                 // cdr
+    b.jal(sumlist);
+    b.add(v0, v0, s3);
+    b.lw(s3, 0, sp);
+    b.lw(ra, 4, sp);
+    b.addi(sp, sp, 8);
+    b.ret();
+
+    // ---- map_double(list) -> new list ----------------------------------------------
+    b.bind(maplist);
+    const auto ml_rec = b.newLabel();
+    b.bnez(a0, ml_rec);
+    b.li(v0, 0);
+    b.ret();
+    b.bind(ml_rec);
+    b.addi(sp, sp, -12);
+    b.sw(ra, 8, sp);
+    b.sw(s3, 4, sp);
+    b.sw(s4, 0, sp);
+    b.lw(t0, 4, a0);                 // car cell
+    b.lw(s3, 4, t0);                 // number
+    b.lw(a0, 8, a0);
+    b.jal(maplist);
+    b.move(s4, v0);                  // mapped tail
+    b.sll(a0, s3, 1);
+    b.jal(mknum);
+    b.move(a0, v0);
+    b.move(a1, s4);
+    b.jal(cons);
+    b.lw(s4, 0, sp);
+    b.lw(s3, 4, sp);
+    b.lw(ra, 8, sp);
+    b.addi(sp, sp, 12);
+    b.ret();
+
+    // ---- mark_list(list) -> cells marked --------------------------------------------
+    b.bind(marklist);
+    const auto mk_rec = b.newLabel();
+    b.bnez(a0, mk_rec);
+    b.li(v0, 0);
+    b.ret();
+    b.bind(mk_rec);
+    b.addi(sp, sp, -8);
+    b.sw(ra, 4, sp);
+    b.sw(s3, 0, sp);
+    b.lw(t0, 0, a0);                 // tag
+    b.ori(t0, t0, 0x100);            // set mark bit
+    b.sw(t0, 0, a0);
+    b.lw(t1, 4, a0);                 // car cell
+    b.lw(t2, 0, t1);
+    b.ori(t2, t2, 0x100);
+    b.sw(t2, 0, t1);
+    b.lw(a0, 8, a0);
+    b.jal(marklist);
+    b.addi(v0, v0, 2);
+    b.lw(s3, 0, sp);
+    b.lw(ra, 4, sp);
+    b.addi(sp, sp, 8);
+    b.ret();
+
+    return b.finish();
+}
+
+} // namespace dmt

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * "m88ksim"-like workload: an instruction-set interpreter.  A small
+ * guest VM (8 registers, accumulator checksum) executes a guest
+ * program; every guest step fetches, decodes and dispatches through an
+ * indirect jump table to per-opcode handler procedures.  Mimics
+ * 124.m88ksim's dispatch-loop structure: one call per simulated
+ * instruction plus indirect branches.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "casm/builder.hh"
+
+namespace dmt
+{
+
+using namespace reg;
+
+namespace
+{
+
+// Guest instruction encoding: op | r1<<8 | r2<<16 | imm<<24.
+constexpr u32
+g(u32 op, u32 r1 = 0, u32 r2 = 0, u32 imm = 0)
+{
+    return op | (r1 << 8) | (r2 << 16) | (imm << 24);
+}
+
+enum GuestOp : u32
+{
+    G_LOADI = 0, // r1 = imm
+    G_ADD = 1,   // r1 += r2
+    G_SUB = 2,   // r1 -= r2
+    G_MUL = 3,   // r1 *= r2
+    G_XOR = 4,   // r1 ^= r2
+    G_ACC = 5,   // checksum += r1
+    G_JNZ = 6,   // if (r1 != 0) pc += (signed)imm - 128
+    G_HALT = 7,
+};
+
+} // namespace
+
+Program
+buildM88ksim()
+{
+    constexpr int kNumOps = 8;
+
+    AsmBuilder b;
+
+    // Guest program: nested countdown loops exercising all opcodes.
+    // r0 = outer counter, r1 = inner counter, r2 = scratch, r3 = one.
+    const std::vector<u32> guest = {
+        /* 0 */ g(G_LOADI, 0, 0, 180), // outer = 180
+        /* 1 */ g(G_LOADI, 3, 0, 1),   // one = 1
+        /* 2 */ g(G_LOADI, 1, 0, 25),  // inner = 25
+        /* 3 */ g(G_LOADI, 2, 0, 3),
+        /* 4 */ g(G_MUL, 2, 1),        // scratch = 3 * inner
+        /* 5 */ g(G_XOR, 2, 0),
+        /* 6 */ g(G_ACC, 2),
+        /* 7 */ g(G_SUB, 1, 3),        // inner--
+        /* 8 */ g(G_JNZ, 1, 0, 128 - 5), // back to 3
+        /* 9 */ g(G_ACC, 0),
+        /* 10 */ g(G_SUB, 0, 3),       // outer--
+        /* 11 */ g(G_JNZ, 0, 0, 128 - 9), // back to 2
+        /* 12 */ g(G_HALT),
+    };
+
+    const auto guest_l = b.newLabel("guest_prog");
+    b.bindData(guest_l);
+    b.dataWords(guest);
+
+    const auto regs_l = b.newLabel("guest_regs");
+    b.bindData(regs_l);
+    b.dataSpace(8 * 4);
+
+    const auto table_l = b.newLabel("dispatch_table");
+    b.bindData(table_l);
+    b.dataSpace(kNumOps * 4);
+
+    const auto step = b.newLabel("vm_step");
+    const auto handlers_done = b.newLabel("vm_done");
+    AsmBuilder::Label handler[kNumOps];
+    for (int i = 0; i < kNumOps; ++i)
+        handler[i] = b.newLabel();
+
+    // ---- main: build the dispatch table, then run the VM ---------------
+    b.la(s6, table_l);
+    for (int i = 0; i < kNumOps; ++i) {
+        b.la(t0, handler[i]);
+        b.sw(t0, i * 4, s6);
+    }
+    b.la(s0, guest_l);  // guest program base
+    b.la(s1, regs_l);   // guest register file
+    b.li(s2, 0);        // guest pc (word index)
+    b.li(s3, 0);        // checksum
+    b.li(s4, 0);        // executed guest instructions
+
+    const auto vm_loop = b.newLabel();
+    b.bind(vm_loop);
+    b.jal(step);
+    b.bnez(v0, vm_loop);
+    b.bind(handlers_done);
+    b.out(s3);
+    b.out(s4);
+    b.halt();
+
+    // ---- vm_step: fetch/decode/dispatch one guest instruction ----------
+    // Returns v0 = 0 when the guest halted.
+    b.bind(step);
+    b.addi(sp, sp, -8);
+    b.sw(ra, 4, sp);
+    b.sll(t0, s2, 2);
+    b.add(t0, t0, s0);
+    b.lw(s5, 0, t0);        // raw guest word
+    b.addi(s2, s2, 1);      // guest pc++
+    b.addi(s4, s4, 1);
+    b.andi(t1, s5, 0xFF);   // opcode
+    b.sll(t1, t1, 2);
+    b.add(t1, t1, s6);
+    b.lw(t2, 0, t1);        // handler address
+    b.jalr(t2);             // indirect dispatch
+    b.lw(ra, 4, sp);
+    b.addi(sp, sp, 8);
+    b.ret();
+
+    // Handler conventions: s5 = raw word, s1 = guest regfile,
+    // v0 = continue flag.  t3 = &guest_r1, t4 = guest r1 value,
+    // t5 = guest r2 value, t6 = imm.
+    auto decode_fields = [&]() {
+        b.srl(t3, s5, 8);
+        b.andi(t3, t3, 0xFF);
+        b.sll(t3, t3, 2);
+        b.add(t3, t3, s1);     // &r1
+        b.lw(t4, 0, t3);       // r1
+        b.srl(t5, s5, 16);
+        b.andi(t5, t5, 0xFF);
+        b.sll(t5, t5, 2);
+        b.add(t5, t5, s1);
+        b.lw(t5, 0, t5);       // r2
+        b.srl(t6, s5, 24);     // imm
+    };
+
+    // G_LOADI
+    b.bind(handler[G_LOADI]);
+    decode_fields();
+    b.sw(t6, 0, t3);
+    b.li(v0, 1);
+    b.ret();
+
+    // G_ADD
+    b.bind(handler[G_ADD]);
+    decode_fields();
+    b.add(t4, t4, t5);
+    b.sw(t4, 0, t3);
+    b.li(v0, 1);
+    b.ret();
+
+    // G_SUB
+    b.bind(handler[G_SUB]);
+    decode_fields();
+    b.sub(t4, t4, t5);
+    b.sw(t4, 0, t3);
+    b.li(v0, 1);
+    b.ret();
+
+    // G_MUL
+    b.bind(handler[G_MUL]);
+    decode_fields();
+    b.mul(t4, t4, t5);
+    b.sw(t4, 0, t3);
+    b.li(v0, 1);
+    b.ret();
+
+    // G_XOR
+    b.bind(handler[G_XOR]);
+    decode_fields();
+    b.xor_(t4, t4, t5);
+    b.sw(t4, 0, t3);
+    b.li(v0, 1);
+    b.ret();
+
+    // G_ACC: checksum = checksum*31 + r1
+    b.bind(handler[G_ACC]);
+    decode_fields();
+    b.sll(t7, s3, 5);
+    b.sub(t7, t7, s3);
+    b.add(s3, t7, t4);
+    b.li(v0, 1);
+    b.ret();
+
+    // G_JNZ: relative branch, bias 128
+    {
+        b.bind(handler[G_JNZ]);
+        decode_fields();
+        const auto not_taken = b.newLabel();
+        b.beqz(t4, not_taken);
+        b.addi(t6, t6, -128);
+        b.add(s2, s2, t6);
+        b.addi(s2, s2, -1);   // relative to the branch itself
+        b.bind(not_taken);
+        b.li(v0, 1);
+        b.ret();
+    }
+
+    // G_HALT
+    b.bind(handler[G_HALT]);
+    b.li(v0, 0);
+    b.ret();
+
+    return b.finish();
+}
+
+} // namespace dmt

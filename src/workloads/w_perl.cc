@@ -1,0 +1,253 @@
+/**
+ * @file
+ * "perl"-like workload: a byte-coded script interpreter over a string
+ * table with an associative array.  Per script op, the dispatcher
+ * calls string procedures (strlen, hash, compare) that loop over
+ * characters, and a bucketed hash map insert/lookup.  Mimics
+ * 134.perl: interpreter dispatch plus string/hash library calls.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "casm/builder.hh"
+#include "common/rng.hh"
+
+namespace dmt
+{
+
+using namespace reg;
+
+Program
+buildPerl()
+{
+    constexpr int kStrings = 48;
+    constexpr int kScriptOps = 2600;
+    constexpr int kBuckets = 256; // map: {key hash, value} pairs
+
+    AsmBuilder b;
+    Rng gen(0x9e71f00du);
+
+    // String table: offsets + packed NUL-terminated strings.
+    std::vector<u8> pool;
+    std::vector<u32> offsets;
+    for (int i = 0; i < kStrings; ++i) {
+        offsets.push_back(static_cast<u32>(pool.size()));
+        const int len = static_cast<int>(gen.range(2, 14));
+        for (int j = 0; j < len; ++j)
+            pool.push_back(static_cast<u8>(gen.range('A', 'z')));
+        pool.push_back(0);
+    }
+
+    // Script: byte pairs (op, string index). op in 1..4.
+    std::vector<u8> script;
+    for (int i = 0; i < kScriptOps; ++i) {
+        script.push_back(static_cast<u8>(gen.range(1, 4)));
+        script.push_back(static_cast<u8>(gen.below(kStrings)));
+    }
+    script.push_back(0); // end marker
+
+    const auto pool_l = b.newLabel("strpool");
+    b.bindData(pool_l);
+    b.dataBytes(pool);
+    b.dataAlign(4);
+    const auto offs_l = b.newLabel("stroffs");
+    b.bindData(offs_l);
+    b.dataWords(offsets);
+    const auto script_l = b.newLabel("script");
+    b.bindData(script_l);
+    b.dataBytes(script);
+    b.dataAlign(4);
+    const auto map_l = b.newLabel("assoc");
+    b.bindData(map_l);
+    b.dataSpace(kBuckets * 8);
+
+    const auto strhash = b.newLabel("strhash");
+    const auto strlen_ = b.newLabel("strlen");
+    const auto strcmp_ = b.newLabel("strcmp");
+    const auto str_at = b.newLabel("str_at");
+    const auto map_put = b.newLabel("map_put");
+    const auto map_get = b.newLabel("map_get");
+
+    // ---- main ---------------------------------------------------------------
+    // s0 = script cursor, s1 = checksum, s2 = map base, s7 = op counter
+    b.la(s0, script_l);
+    b.li(s1, 0);
+    b.la(s2, map_l);
+    b.li(s7, 0);
+
+    const auto loop = b.newLabel();
+    const auto op2 = b.newLabel();
+    const auto op3 = b.newLabel();
+    const auto op4 = b.newLabel();
+    const auto cont = b.newLabel();
+    const auto done = b.newLabel();
+
+    b.bind(loop);
+    b.lbu(s3, 0, s0);       // op
+    b.beqz(s3, done);
+    b.lbu(s4, 1, s0);       // string index
+    b.addi(s0, s0, 2);
+    b.addi(s7, s7, 1);
+
+    // op 1: store — assoc[hash(str)] = strlen(str) + op counter
+    b.addi(t0, s3, -1);
+    b.bnez(t0, op2);
+    b.move(a0, s4);
+    b.jal(str_at);
+    b.move(s5, v0);
+    b.move(a0, s5);
+    b.jal(strhash);
+    b.move(s6, v0);
+    b.move(a0, s5);
+    b.jal(strlen_);
+    b.add(a1, v0, s7);
+    b.move(a0, s6);
+    b.jal(map_put);
+    b.b(cont);
+
+    // op 2: fetch — checksum += assoc[hash(str)]
+    b.bind(op2);
+    b.addi(t0, s3, -2);
+    b.bnez(t0, op3);
+    b.move(a0, s4);
+    b.jal(str_at);
+    b.move(a0, v0);
+    b.jal(strhash);
+    b.move(a0, v0);
+    b.jal(map_get);
+    b.add(s1, s1, v0);
+    b.b(cont);
+
+    // op 3: compare adjacent strings — checksum ^= strcmp result
+    b.bind(op3);
+    b.addi(t0, s3, -3);
+    b.bnez(t0, op4);
+    b.move(a0, s4);
+    b.jal(str_at);
+    b.move(s5, v0);
+    b.addi(t1, s4, 1);
+    b.li(t2, kStrings);
+    b.rem(t1, t1, t2);
+    b.move(a0, t1);
+    b.jal(str_at);
+    b.move(a1, v0);
+    b.move(a0, s5);
+    b.jal(strcmp_);
+    b.xor_(s1, s1, v0);
+    b.b(cont);
+
+    // op 4: hash+length mix
+    b.bind(op4);
+    b.move(a0, s4);
+    b.jal(str_at);
+    b.move(s5, v0);
+    b.move(a0, s5);
+    b.jal(strhash);
+    b.move(s6, v0);
+    b.move(a0, s5);
+    b.jal(strlen_);
+    b.mul(t0, v0, s6);
+    b.add(s1, s1, t0);
+
+    b.bind(cont);
+    b.b(loop);
+    b.bind(done);
+    b.out(s1);
+    b.out(s7);
+    b.halt();
+
+    // ---- str_at(index) -> char* -----------------------------------------------
+    b.bind(str_at);
+    b.la(t0, offs_l);
+    b.sll(t1, a0, 2);
+    b.add(t1, t1, t0);
+    b.lw(t2, 0, t1);
+    b.la(t3, pool_l);
+    b.add(v0, t2, t3);
+    b.ret();
+
+    // ---- strhash(char*) -> h (djb2) --------------------------------------------
+    b.bind(strhash);
+    {
+        const auto hl = b.newLabel();
+        const auto hend = b.newLabel();
+        b.li(v0, 5381);
+        b.bind(hl);
+        b.lbu(t0, 0, a0);
+        b.beqz(t0, hend);
+        b.sll(t1, v0, 5);
+        b.add(v0, v0, t1);
+        b.add(v0, v0, t0);
+        b.addi(a0, a0, 1);
+        b.b(hl);
+        b.bind(hend);
+        b.ret();
+    }
+
+    // ---- strlen(char*) -> n -------------------------------------------------------
+    b.bind(strlen_);
+    {
+        const auto ll = b.newLabel();
+        const auto lend = b.newLabel();
+        b.li(v0, 0);
+        b.bind(ll);
+        b.lbu(t0, 0, a0);
+        b.beqz(t0, lend);
+        b.addi(v0, v0, 1);
+        b.addi(a0, a0, 1);
+        b.b(ll);
+        b.bind(lend);
+        b.ret();
+    }
+
+    // ---- strcmp(a, b) -> difference of first mismatching chars ----------------------
+    b.bind(strcmp_);
+    {
+        const auto cl = b.newLabel();
+        const auto cdiff = b.newLabel();
+        const auto cend = b.newLabel();
+        b.bind(cl);
+        b.lbu(t0, 0, a0);
+        b.lbu(t1, 0, a1);
+        b.bne(t0, t1, cdiff);
+        b.beqz(t0, cend);
+        b.addi(a0, a0, 1);
+        b.addi(a1, a1, 1);
+        b.b(cl);
+        b.bind(cdiff);
+        b.sub(v0, t0, t1);
+        b.ret();
+        b.bind(cend);
+        b.li(v0, 0);
+        b.ret();
+    }
+
+    // ---- map_put(h, v) ---------------------------------------------------------------
+    b.bind(map_put);
+    b.andi(t0, a0, kBuckets - 1);
+    b.sll(t0, t0, 3);
+    b.add(t0, t0, s2);
+    b.sw(a0, 0, t0);
+    b.sw(a1, 4, t0);
+    b.ret();
+
+    // ---- map_get(h) -> v or 0 ----------------------------------------------------------
+    b.bind(map_get);
+    {
+        const auto hit = b.newLabel();
+        b.andi(t0, a0, kBuckets - 1);
+        b.sll(t0, t0, 3);
+        b.add(t0, t0, s2);
+        b.lw(t1, 0, t0);
+        b.beq(t1, a0, hit);
+        b.li(v0, 0);
+        b.ret();
+        b.bind(hit);
+        b.lw(v0, 4, t0);
+        b.ret();
+    }
+
+    return b.finish();
+}
+
+} // namespace dmt

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * "vortex"-like workload: an object database built on a binary search
+ * tree.  Records are inserted, looked up and updated through recursive
+ * procedures with pointer chasing; transactions mix hits, misses and
+ * inserts.  Mimics 147.vortex: call-heavy object manipulation with
+ * data-dependent control flow.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "casm/builder.hh"
+
+namespace dmt
+{
+
+using namespace reg;
+
+Program
+buildVortex()
+{
+    constexpr int kInitialRecords = 200;
+    constexpr int kTransactions = 4500;
+    constexpr u32 kArenaBytes = 96 * 1024;
+
+    AsmBuilder b;
+
+    // Node layout: +0 key, +4 value, +8 left, +12 right.
+    const auto arena_l = b.newLabel("db_arena");
+    b.bindData(arena_l);
+    b.dataSpace(kArenaBytes);
+    const auto next_l = b.newLabel("db_next");
+    b.bindData(next_l);
+    b.dataWords({0});
+    const auto root_l = b.newLabel("db_root");
+    b.bindData(root_l);
+    b.dataWords({0});
+
+    const auto insert = b.newLabel("bst_insert");
+    const auto lookup = b.newLabel("bst_lookup");
+    const auto nextkey = b.newLabel("next_key");
+
+    // ---- main --------------------------------------------------------------
+    // s0 = PRNG state, s1 = checksum, s2 = transaction index
+    b.la(t0, arena_l);
+    b.la(t1, next_l);
+    b.sw(t0, 0, t1);
+    b.li(s0, 0x1234567u);
+    b.li(s1, 0);
+
+    // Phase 1: populate.
+    const auto pop_loop = b.newLabel();
+    b.li(s2, 0);
+    b.bind(pop_loop);
+    b.jal(nextkey);
+    b.move(a0, v0);
+    b.sll(a1, v0, 1);
+    b.addi(a1, a1, 3);
+    b.jal(insert);
+    b.addi(s2, s2, 1);
+    b.li(t0, kInitialRecords);
+    b.blt(s2, t0, pop_loop);
+
+    // Phase 2: transactions.
+    const auto txn_loop = b.newLabel();
+    const auto txn_miss = b.newLabel();
+    const auto txn_next = b.newLabel();
+    b.li(s2, 0);
+    b.bind(txn_loop);
+    b.jal(nextkey);
+    b.move(s3, v0);
+    b.move(a0, s3);
+    b.jal(lookup);
+    b.beqz(v0, txn_miss);
+    // Hit: checksum += value; update value = value*5 + key.
+    b.lw(t0, 4, v0);
+    b.add(s1, s1, t0);
+    b.sll(t1, t0, 2);
+    b.add(t1, t1, t0);
+    b.add(t1, t1, s3);
+    b.sw(t1, 4, v0);
+    b.b(txn_next);
+    b.bind(txn_miss);
+    // Miss: insert a fresh record.
+    b.move(a0, s3);
+    b.addi(a1, s3, 77);
+    b.jal(insert);
+    b.addi(s1, s1, 1);
+    b.bind(txn_next);
+    b.addi(s2, s2, 1);
+    b.li(t2, kTransactions);
+    b.blt(s2, t2, txn_loop);
+    b.out(s1);
+    b.halt();
+
+    // ---- next_key() -> bounded pseudo-random key ------------------------------
+    // xorshift on s0, then fold into [0, 511] so lookups hit often.
+    b.bind(nextkey);
+    b.sll(t0, s0, 13);
+    b.xor_(s0, s0, t0);
+    b.srl(t0, s0, 17);
+    b.xor_(s0, s0, t0);
+    b.sll(t0, s0, 5);
+    b.xor_(s0, s0, t0);
+    b.andi(v0, s0, 511);
+    b.addi(v0, v0, 1); // keys are nonzero
+    b.ret();
+
+    // ---- bst_insert(key, value) -------------------------------------------------
+    // Iterative descent; allocates when the slot is empty.  Duplicate
+    // keys update in place.
+    b.bind(insert);
+    {
+        const auto descend = b.newLabel();
+        const auto go_right = b.newLabel();
+        const auto attach = b.newLabel();
+        const auto update = b.newLabel();
+        b.la(t0, root_l);   // t0 = link slot address
+        b.bind(descend);
+        b.lw(t1, 0, t0);    // node at slot
+        b.beqz(t1, attach);
+        b.lw(t2, 0, t1);    // node key
+        b.beq(t2, a0, update);
+        b.blt(t2, a0, go_right);
+        b.addi(t0, t1, 8);  // left slot
+        b.b(descend);
+        b.bind(go_right);
+        b.addi(t0, t1, 12); // right slot
+        b.b(descend);
+        b.bind(attach);
+        b.la(t3, next_l);
+        b.lw(t4, 0, t3);
+        b.addi(t5, t4, 16);
+        b.sw(t5, 0, t3);
+        b.sw(a0, 0, t4);
+        b.sw(a1, 4, t4);
+        b.sw(zero, 8, t4);
+        b.sw(zero, 12, t4);
+        b.sw(t4, 0, t0);
+        b.ret();
+        b.bind(update);
+        b.sw(a1, 4, t1);
+        b.ret();
+    }
+
+    // ---- bst_lookup(key) -> node or 0 (recursive) ---------------------------------
+    // lookup(key) walks from the root via a recursive helper to create
+    // call depth proportional to the tree height.
+    {
+        const auto helper = b.newLabel("bst_lookup_rec");
+        b.bind(lookup);
+        b.la(t0, root_l);
+        b.lw(a1, 0, t0);
+        // fall through into helper(key, node)
+        b.bind(helper);
+        const auto miss = b.newLabel();
+        const auto hit = b.newLabel();
+        const auto right = b.newLabel();
+        b.beqz(a1, miss);
+        b.lw(t1, 0, a1);
+        b.beq(t1, a0, hit);
+        b.addi(sp, sp, -8);
+        b.sw(ra, 4, sp);
+        b.blt(t1, a0, right);
+        b.lw(a1, 8, a1);
+        b.jal(helper);
+        b.lw(ra, 4, sp);
+        b.addi(sp, sp, 8);
+        b.ret();
+        b.bind(right);
+        b.lw(a1, 12, a1);
+        b.jal(helper);
+        b.lw(ra, 4, sp);
+        b.addi(sp, sp, 8);
+        b.ret();
+        b.bind(hit);
+        b.move(v0, a1);
+        b.ret();
+        b.bind(miss);
+        b.li(v0, 0);
+        b.ret();
+    }
+
+    return b.finish();
+}
+
+} // namespace dmt

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Textual assembler tests: syntax, directives, labels, pseudo-ops,
+ * error reporting, and functional agreement with hand-built programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "casm/assembler.hh"
+#include "isa/regs.hh"
+#include "sim/functional.hh"
+
+namespace dmt
+{
+namespace
+{
+
+std::vector<u32>
+runSource(const std::string &src)
+{
+    const Program prog = assembleOrDie(src);
+    ArchState st;
+    MainMemory mem;
+    st.reset(prog);
+    mem.loadProgram(prog);
+    runFunctional(st, mem, prog);
+    return st.output;
+}
+
+TEST(Assembler, MinimalProgram)
+{
+    AsmResult r = assembleSource("halt\n");
+    ASSERT_TRUE(r.ok) << r.errorText();
+    ASSERT_EQ(r.program.text.size(), 1u);
+    EXPECT_EQ(r.program.text[0].op, Opcode::HALT);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    AsmResult r = assembleSource(R"(
+        # full line comment
+        addi $t0, $zero, 1   # trailing comment
+        ; alternative comment
+        halt
+    )");
+    ASSERT_TRUE(r.ok) << r.errorText();
+    EXPECT_EQ(r.program.text.size(), 2u);
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    const auto out = runSource(R"(
+            li   $t0, 0
+            li   $t1, 5
+    loop:   addi $t0, $t0, 1
+            blt  $t0, $t1, loop
+            out  $t0
+            halt
+    )");
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 5u);
+}
+
+TEST(Assembler, DataDirectivesAndLoads)
+{
+    const auto out = runSource(R"(
+            .data
+    words:  .word 10, 20, 30
+    halves: .half 7, 9
+    bytes:  .byte 1, 2, 3
+            .align 4
+    msg:    .asciiz "AB"
+            .text
+            la   $t0, words
+            lw   $t1, 4($t0)
+            out  $t1
+            la   $t2, halves
+            lhu  $t3, 2($t2)
+            out  $t3
+            la   $t4, bytes
+            lbu  $t5, 2($t4)
+            out  $t5
+            la   $t6, msg
+            lbu  $t7, 1($t6)
+            out  $t7
+            halt
+    )");
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0], 20u);
+    EXPECT_EQ(out[1], 9u);
+    EXPECT_EQ(out[2], 3u);
+    EXPECT_EQ(out[3], static_cast<u32>('B'));
+}
+
+TEST(Assembler, PseudoOps)
+{
+    const auto out = runSource(R"(
+            li   $t0, 0x12345678
+            out  $t0
+            li   $t1, -7
+            out  $t1
+            move $t2, $t0
+            out  $t2
+            not  $t3, $zero
+            out  $t3
+            neg  $t4, $t1
+            out  $t4
+            subi $t5, $t4, 3
+            out  $t5
+            halt
+    )");
+    ASSERT_EQ(out.size(), 6u);
+    EXPECT_EQ(out[0], 0x12345678u);
+    EXPECT_EQ(out[1], static_cast<u32>(-7));
+    EXPECT_EQ(out[2], 0x12345678u);
+    EXPECT_EQ(out[3], 0xFFFFFFFFu);
+    EXPECT_EQ(out[4], 7u);
+    EXPECT_EQ(out[5], 4u);
+}
+
+TEST(Assembler, ConditionalPseudoBranches)
+{
+    const auto out = runSource(R"(
+            li   $t0, -3
+            li   $t1, 0
+            bltz $t0, neg_path
+            li   $t1, 99
+    neg_path:
+            bgtz $t0, wrong
+            addi $t1, $t1, 1
+    wrong:  blez $t0, done
+            addi $t1, $t1, 100
+    done:   out  $t1
+            halt
+    )");
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 1u);
+}
+
+TEST(Assembler, CallAndStack)
+{
+    const auto out = runSource(R"(
+            li   $a0, 6
+            jal  twice
+            out  $v0
+            halt
+    twice:  push $a0
+            pop  $t0
+            sll  $v0, $t0, 1
+            ret
+    )");
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 12u);
+}
+
+TEST(Assembler, EntryDirective)
+{
+    AsmResult r = assembleSource(R"(
+            .entry start
+    other:  halt
+    start:  out $zero
+            halt
+    )");
+    ASSERT_TRUE(r.ok) << r.errorText();
+    EXPECT_EQ(r.program.entry, r.program.symbol("start"));
+}
+
+TEST(Assembler, SymbolArithmetic)
+{
+    const auto out = runSource(R"(
+            .data
+    tab:    .word 5, 6, 7
+            .text
+            la  $t0, tab+8
+            lw  $t1, 0($t0)
+            out $t1
+            halt
+    )");
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 7u);
+}
+
+TEST(AssemblerErrors, UndefinedLabel)
+{
+    AsmResult r = assembleSource("j nowhere\nhalt\n");
+    EXPECT_FALSE(r.ok);
+    ASSERT_FALSE(r.errors.empty());
+    EXPECT_NE(r.errorText().find("nowhere"), std::string::npos);
+}
+
+TEST(AssemblerErrors, DuplicateLabel)
+{
+    AsmResult r = assembleSource("a: nop\na: halt\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.errorText().find("duplicate"), std::string::npos);
+}
+
+TEST(AssemblerErrors, UnknownMnemonic)
+{
+    AsmResult r = assembleSource("frobnicate $t0, $t1\nhalt\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.errorText().find("frobnicate"), std::string::npos);
+}
+
+TEST(AssemblerErrors, BadRegister)
+{
+    AsmResult r = assembleSource("add $t0, $t1, $t99\nhalt\n");
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(AssemblerErrors, WrongOperandCount)
+{
+    AsmResult r = assembleSource("add $t0, $t1\nhalt\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.errorText().find("expects"), std::string::npos);
+}
+
+TEST(AssemblerErrors, DataDirectiveInText)
+{
+    AsmResult r = assembleSource(".word 1\nhalt\n");
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(AssemblerErrors, LineNumbersReported)
+{
+    AsmResult r = assembleSource("nop\nnop\nbogus\n");
+    ASSERT_FALSE(r.ok);
+    EXPECT_EQ(r.errors.front().line, 3);
+}
+
+TEST(Assembler, LiSymbolAlwaysWide)
+{
+    // A forward-referenced symbol in li must assemble (pass-1 sizing
+    // uses the wide form regardless of final value).
+    AsmResult r = assembleSource(R"(
+            li $t0, later
+            out $t0
+            halt
+            .data
+    later:  .word 1
+    )");
+    ASSERT_TRUE(r.ok) << r.errorText();
+}
+
+} // namespace
+} // namespace dmt

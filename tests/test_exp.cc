@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Experiment-layer tests: the per-figure machine configurations encode
+ * exactly the parameters the paper states (these tests are the
+ * machine-readable form of Section 4's methodology), plus the runner
+ * and table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/experiments.hh"
+#include "exp/report.hh"
+#include "exp/runner.hh"
+
+namespace dmt
+{
+namespace
+{
+
+TEST(PaperConfig, BaselineMachine)
+{
+    // "a 4-wide superscalar with a 128-instruction window"
+    const SimConfig c = exp::baseline();
+    EXPECT_EQ(c.max_threads, 1);
+    EXPECT_EQ(c.fetch_ports, 1);
+    EXPECT_EQ(c.fetch_block, 4);
+    EXPECT_EQ(c.window_size, 128);
+    EXPECT_EQ(c.retire_width, 4);
+    EXPECT_TRUE(c.unlimited_fus);
+    EXPECT_FALSE(c.isDmt());
+}
+
+TEST(PaperConfig, CacheHierarchy)
+{
+    // "16KB 2-way set associative instruction and data caches and a
+    //  256KB 4-way set associative L2 cache. L1 miss penalty is 4
+    //  cycles, and an L2 miss costs additional 20 cycles."
+    const SimConfig c = exp::baseline();
+    EXPECT_EQ(c.mem.l1i.size_bytes, 16u * 1024);
+    EXPECT_EQ(c.mem.l1i.assoc, 2u);
+    EXPECT_EQ(c.mem.l1d.size_bytes, 16u * 1024);
+    EXPECT_EQ(c.mem.l1d.assoc, 2u);
+    EXPECT_EQ(c.mem.l2.size_bytes, 256u * 1024);
+    EXPECT_EQ(c.mem.l2.assoc, 4u);
+    EXPECT_EQ(c.mem.l1_miss_penalty, 4u);
+    EXPECT_EQ(c.mem.l2_miss_penalty, 20u);
+}
+
+TEST(PaperConfig, Figure4Machine)
+{
+    // "two fetch ports and two rename units ... trace buffer size is
+    //  500 instructions per thread ... trace buffer pipeline is 4
+    //  cycles long ... window size 128"
+    const SimConfig c = exp::fig4Dmt(6);
+    EXPECT_EQ(c.max_threads, 6);
+    EXPECT_EQ(c.fetch_ports, 2);
+    EXPECT_EQ(c.window_size, 128);
+    EXPECT_EQ(c.tb_size, 500);
+    EXPECT_EQ(c.tb_latency, 4);
+    EXPECT_TRUE(c.unlimited_fus);
+}
+
+TEST(PaperConfig, Figure6ExecutionUnits)
+{
+    // "4 ALUs, 2 of which are used for address calculations, and 1
+    //  multiply/divide unit. Two load and/or store instructions can be
+    //  issued to the DCache every cycle. The latencies are 1 cycle for
+    //  the ALU, 3 for multiply, 20 for divide, and 3 cycles for a load"
+    const SimConfig c = exp::fig6Dmt(6, true);
+    EXPECT_FALSE(c.unlimited_fus);
+    EXPECT_EQ(c.fus.alu, 4);
+    EXPECT_EQ(c.fus.muldiv, 1);
+    EXPECT_EQ(c.fus.mem_ports, 2);
+    EXPECT_EQ(c.lat_alu, 1);
+    EXPECT_EQ(c.lat_mul, 3);
+    EXPECT_EQ(c.lat_div, 20);
+    EXPECT_EQ(c.lat_mem, 3);
+    // "we have assumed additional 2 cycles of latency for loads that
+    //  hit stores in other thread queues"
+    EXPECT_EQ(c.lat_xthread_forward, 2);
+}
+
+TEST(PaperConfig, FigureSweeps)
+{
+    EXPECT_EQ(exp::fig5Dmt(4).fetch_ports, 4);
+    EXPECT_EQ(exp::fig5Dmt(4).max_threads, 4);
+    EXPECT_EQ(exp::fig7Dmt(200).tb_size, 200);
+    EXPECT_EQ(exp::fig7Dmt(200).max_threads, 6);
+    EXPECT_EQ(exp::fig89Dmt().max_threads, 6);
+    EXPECT_FALSE(exp::fig10Dmt(false).dataflow_prediction);
+    EXPECT_TRUE(exp::fig10Dmt(true).dataflow_prediction);
+    EXPECT_EQ(exp::fig12Dmt(6).tb_read_block, 6);
+    EXPECT_EQ(exp::fig12Dmt(0).tb_read_block, 0) << "ideal queue";
+    EXPECT_EQ(exp::fig13Dmt(16).tb_latency, 16);
+}
+
+TEST(PaperConfig, ValidationCatchesNonsense)
+{
+    SimConfig c = exp::baseline();
+    c.max_threads = 0;
+    EXPECT_DEATH(c.validate(), "max_threads");
+    SimConfig c2 = exp::baseline();
+    c2.tb_size = 2;
+    EXPECT_DEATH(c2.validate(), "trace buffer");
+}
+
+TEST(Runner, RespectsBudget)
+{
+    const RunResult r = runWorkload(exp::baseline(), "go", 5000);
+    EXPECT_GE(r.retired, 5000u);
+    EXPECT_LT(r.retired, 5200u);
+    EXPECT_FALSE(r.completed);
+    EXPECT_GT(r.ipc, 0.0);
+}
+
+TEST(Runner, SpeedupMath)
+{
+    RunResult base;
+    base.cycles = 2000;
+    base.retired = 1000;
+    RunResult twice;
+    twice.cycles = 1000;
+    twice.retired = 1000;
+    EXPECT_NEAR(speedupPct(base, twice), 100.0, 1e-9);
+    EXPECT_NEAR(speedupPct(base, base), 0.0, 1e-9);
+    // Different retired counts compare cycles-per-instruction.
+    RunResult half_work;
+    half_work.cycles = 1000;
+    half_work.retired = 500;
+    EXPECT_NEAR(speedupPct(base, half_work), 0.0, 1e-9);
+}
+
+TEST(Runner, DefaultLengthOverridableByEnv)
+{
+    // No env in tests: default applies.
+    EXPECT_GT(benchRunLength(), 0u);
+}
+
+TEST(Report, RendersTable)
+{
+    Report rep("Figure X: demo", "a note");
+    rep.columns({"workload", "a", "b"});
+    rep.row("go", {1.25, -3.5});
+    rep.row("li", {2.75, 0.5});
+    rep.averageRow();
+    const std::string out = rep.render();
+    EXPECT_NE(out.find("Figure X: demo"), std::string::npos);
+    EXPECT_NE(out.find("a note"), std::string::npos);
+    EXPECT_NE(out.find("go"), std::string::npos);
+    EXPECT_NE(out.find("1.25"), std::string::npos);
+    EXPECT_NE(out.find("-3.50"), std::string::npos);
+    EXPECT_NE(out.find("average"), std::string::npos);
+    EXPECT_NE(out.find("2.00"), std::string::npos) << "mean of col a";
+}
+
+TEST(Report, AverageIgnoresPriorAverages)
+{
+    Report rep("t", "");
+    rep.columns({"w", "x"});
+    rep.row("r1", {2.0});
+    rep.averageRow("avg1");
+    rep.row("r2", {4.0});
+    rep.averageRow("avg2");
+    const std::string out = rep.render();
+    // avg2 must be mean(2,4) = 3, not influenced by avg1.
+    EXPECT_NE(out.find("3.00"), std::string::npos);
+}
+
+} // namespace
+} // namespace dmt

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Whole-program binary round trips: every suite workload's text
+ * segment encodes to 32-bit words and decodes back to the identical
+ * instruction stream, and the disassembler renders every instruction
+ * without tripping assertions — the "can you actually store this
+ * program in an ICache" property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hh"
+#include "isa/encoding.hh"
+#include "workloads/workloads.hh"
+
+namespace dmt
+{
+namespace
+{
+
+class ProgramImage : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ProgramImage, EncodeDecodeWholeText)
+{
+    const WorkloadInfo &w =
+        workloadSuite()[static_cast<size_t>(GetParam())];
+    const Program prog = w.build();
+    ASSERT_FALSE(prog.text.empty());
+
+    for (size_t i = 0; i < prog.text.size(); ++i) {
+        const Instruction &inst = prog.text[i];
+        u32 word = 0;
+        std::string err;
+        ASSERT_TRUE(encodeInst(inst, &word, &err))
+            << w.name << " @" << i << ": " << err;
+        const Instruction back = decodeInst(word);
+        EXPECT_EQ(back, inst)
+            << w.name << " @" << i << ": "
+            << disassemble(inst,
+                           Program::kTextBase + static_cast<Addr>(i) * 4)
+            << " != "
+            << disassemble(back,
+                           Program::kTextBase + static_cast<Addr>(i) * 4);
+    }
+}
+
+TEST_P(ProgramImage, DisassemblesCompletely)
+{
+    const WorkloadInfo &w =
+        workloadSuite()[static_cast<size_t>(GetParam())];
+    const Program prog = w.build();
+    for (size_t i = 0; i < prog.text.size(); ++i) {
+        const Addr pc = Program::kTextBase + static_cast<Addr>(i) * 4;
+        const std::string text = disassemble(prog.text[i], pc);
+        EXPECT_FALSE(text.empty());
+    }
+}
+
+TEST_P(ProgramImage, BranchTargetsStayInText)
+{
+    const WorkloadInfo &w =
+        workloadSuite()[static_cast<size_t>(GetParam())];
+    const Program prog = w.build();
+    for (size_t i = 0; i < prog.text.size(); ++i) {
+        const Instruction &inst = prog.text[i];
+        const Addr pc = Program::kTextBase + static_cast<Addr>(i) * 4;
+        if (inst.isCondBranch()) {
+            EXPECT_TRUE(prog.validTextAddr(inst.branchTarget(pc)))
+                << w.name << " branch @0x" << std::hex << pc;
+        } else if (inst.isJump() && !inst.isIndirect()) {
+            EXPECT_TRUE(prog.validTextAddr(inst.jumpTarget()))
+                << w.name << " jump @0x" << std::hex << pc;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, ProgramImage,
+    ::testing::Range(0, static_cast<int>(workloadSuite().size())),
+    [](const ::testing::TestParamInfo<int> &param_info) {
+        return workloadSuite()[static_cast<size_t>(param_info.param)]
+            .name;
+    });
+
+TEST(ProgramImageMicro, MicrokernelsRoundTrip)
+{
+    const std::vector<Program> programs = {
+        mkFibRecursive(8), mkSumLoop(8),     mkMatmul(4),
+        mkSort(8),         mkLinkedList(8),  mkCallChain(8),
+        mkBranchy(8),      mkAliasStress(8), mkDeepRecursion(8),
+        mkLoopBreak(4, 4),
+    };
+    for (const Program &prog : programs) {
+        for (const Instruction &inst : prog.text) {
+            u32 word = 0;
+            std::string err;
+            ASSERT_TRUE(encodeInst(inst, &word, &err)) << err;
+            EXPECT_EQ(decodeInst(word), inst);
+        }
+    }
+}
+
+} // namespace
+} // namespace dmt

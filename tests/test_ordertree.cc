@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Ordering-tree tests mirroring the paper's Figure 2 example plus the
+ * splice-on-removal and subtree operations the engine relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hh"
+#include "dmt/order_tree.hh"
+
+namespace dmt
+{
+namespace
+{
+
+TEST(OrderTree, SingleThread)
+{
+    OrderTree t(8);
+    t.resetWith(0);
+    EXPECT_EQ(t.head(), 0);
+    EXPECT_EQ(t.last(), 0);
+    EXPECT_EQ(t.successor(0), kNoThread);
+    EXPECT_EQ(t.predecessor(0), kNoThread);
+    EXPECT_EQ(t.size(), 1);
+}
+
+TEST(OrderTree, PaperFigure2Sequence)
+{
+    // T1 spawns T2 at a call, then T3 at a backward branch: most
+    // recent children retire first, so the order is T1, T3, T2.
+    OrderTree t(8);
+    t.resetWith(1);
+    t.addChild(1, 2);
+    t.addChild(1, 3);
+    const auto &order = t.order();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 3);
+    EXPECT_EQ(order[2], 2);
+    EXPECT_EQ(t.successor(1), 3);
+    EXPECT_EQ(t.successor(3), 2);
+    EXPECT_EQ(t.last(), 2);
+    EXPECT_TRUE(t.before(3, 2));
+    EXPECT_FALSE(t.before(2, 3));
+}
+
+TEST(OrderTree, RemovalSplicesChildren)
+{
+    OrderTree t(8);
+    t.resetWith(0);
+    t.addChild(0, 1);
+    t.addChild(1, 2); // order: 0, 1, 2
+    t.remove(1);      // 2 takes 1's position
+    const auto &order = t.order();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 2);
+    EXPECT_EQ(t.successor(0), 2);
+}
+
+TEST(OrderTree, HeadRetirementPromotesChild)
+{
+    OrderTree t(8);
+    t.resetWith(0);
+    t.addChild(0, 1);
+    t.addChild(0, 2); // order: 0, 2, 1
+    t.remove(0);
+    EXPECT_EQ(t.head(), 2);
+    EXPECT_EQ(t.successor(2), 1);
+    EXPECT_EQ(t.size(), 2);
+}
+
+TEST(OrderTree, DeepSpawnChains)
+{
+    OrderTree t(8);
+    t.resetWith(0);
+    // Recursion: each new child spawned by the previous one.
+    t.addChild(0, 1);
+    t.addChild(1, 2);
+    t.addChild(2, 3);
+    const auto &order = t.order();
+    EXPECT_EQ(order, (std::vector<ThreadId>{0, 1, 2, 3}));
+    // Then thread 0 spawns another (more recent -> right after 0).
+    t.addChild(0, 4);
+    EXPECT_EQ(t.order(), (std::vector<ThreadId>{0, 4, 1, 2, 3}));
+    EXPECT_EQ(t.last(), 3);
+}
+
+TEST(OrderTree, SubtreeCollectsDescendants)
+{
+    OrderTree t(8);
+    t.resetWith(0);
+    t.addChild(0, 1);
+    t.addChild(1, 2);
+    t.addChild(1, 3);
+    auto sub = t.subtree(1);
+    std::sort(sub.begin(), sub.end());
+    EXPECT_EQ(sub, (std::vector<ThreadId>{1, 2, 3}));
+    EXPECT_EQ(t.subtree(2), (std::vector<ThreadId>{2}));
+}
+
+TEST(OrderTree, LastIsAlwaysLeaf)
+{
+    OrderTree t(8);
+    t.resetWith(0);
+    t.addChild(0, 1);
+    t.addChild(1, 2);
+    t.addChild(0, 3);
+    // order: 0, 3, 1, 2 — the last element must have no children
+    // (pre-emption squashes exactly one thread).
+    const ThreadId last = t.last();
+    EXPECT_EQ(t.subtree(last).size(), 1u);
+}
+
+TEST(OrderTree, ContainsTracksMembership)
+{
+    OrderTree t(4);
+    t.resetWith(0);
+    EXPECT_TRUE(t.contains(0));
+    EXPECT_FALSE(t.contains(1));
+    t.addChild(0, 1);
+    EXPECT_TRUE(t.contains(1));
+    t.remove(1);
+    EXPECT_FALSE(t.contains(1));
+}
+
+TEST(OrderTree, ReuseAfterRemoval)
+{
+    OrderTree t(4);
+    t.resetWith(0);
+    t.addChild(0, 1);
+    t.remove(1);
+    t.addChild(0, 1); // context id reused
+    EXPECT_EQ(t.order(), (std::vector<ThreadId>{0, 1}));
+}
+
+TEST(OrderTreeProperty, RandomOpsKeepInvariants)
+{
+    // Random spawn/remove sequences must always keep: (a) a consistent
+    // order list, (b) before() agreeing with list positions, (c) the
+    // last element childless (safe to pre-empt), (d) size bookkeeping.
+    for (u64 seed = 1; seed <= 20; ++seed) {
+        Rng rng(seed * 1337);
+        OrderTree t(8);
+        t.resetWith(0);
+        std::vector<ThreadId> active{0};
+
+        for (int step = 0; step < 200; ++step) {
+            const bool can_add = active.size() < 8;
+            const bool do_add =
+                can_add && (active.size() <= 1 || rng.chance(0.6));
+            if (do_add) {
+                ThreadId child = -1;
+                for (ThreadId i = 0; i < 8; ++i) {
+                    if (!t.contains(i)) {
+                        child = i;
+                        break;
+                    }
+                }
+                const ThreadId parent = active[static_cast<size_t>(
+                    rng.below(active.size()))];
+                t.addChild(parent, child);
+                active.push_back(child);
+            } else {
+                // Remove either the tail (pre-emption) or a random
+                // leaf-most victim via subtree squash order.
+                const ThreadId victim = t.last();
+                ASSERT_EQ(t.subtree(victim).size(), 1u);
+                t.remove(victim);
+                active.erase(std::find(active.begin(), active.end(),
+                                       victim));
+                if (active.empty()) {
+                    t.resetWith(0);
+                    active.push_back(0);
+                }
+            }
+
+            const auto &order = t.order();
+            ASSERT_EQ(order.size(), active.size());
+            for (size_t i = 0; i < order.size(); ++i) {
+                ASSERT_TRUE(t.contains(order[i]));
+                for (size_t j = i + 1; j < order.size(); ++j) {
+                    ASSERT_TRUE(t.before(order[i], order[j]));
+                    ASSERT_FALSE(t.before(order[j], order[i]));
+                }
+                if (i > 0) {
+                    ASSERT_EQ(t.predecessor(order[i]), order[i - 1]);
+                }
+                if (i + 1 < order.size()) {
+                    ASSERT_EQ(t.successor(order[i]), order[i + 1]);
+                }
+            }
+            if (!order.empty()) {
+                ASSERT_EQ(t.subtree(t.last()).size(), 1u);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace dmt

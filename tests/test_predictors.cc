@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Thread-level predictor tests: the spawn selection counters with
+ * their retirement-stream estimator and after-loop target history, and
+ * the register dataflow (last-modifier) predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dmt/dataflow_pred.hh"
+#include "dmt/spawn_pred.hh"
+
+namespace dmt
+{
+namespace
+{
+
+TEST(SpawnPredictor, StartsWeaklySelected)
+{
+    SpawnPredictor sp(10, 4, 12);
+    EXPECT_TRUE(sp.selected(0x400100));
+    EXPECT_EQ(sp.counterOf(0x400100), 2);
+}
+
+TEST(SpawnPredictor, UsefulRetirementStrengthens)
+{
+    SpawnPredictor sp(10, 4, 12);
+    sp.onThreadRetired(0x400100, true, false);
+    EXPECT_EQ(sp.counterOf(0x400100), 3);
+    sp.onThreadRetired(0x400100, true, false);
+    EXPECT_EQ(sp.counterOf(0x400100), 3) << "saturates";
+}
+
+TEST(SpawnPredictor, TooSmallResets)
+{
+    SpawnPredictor sp(10, 4, 12);
+    sp.onThreadRetired(0x400100, true, true);
+    EXPECT_EQ(sp.counterOf(0x400100), 0);
+    EXPECT_FALSE(sp.selected(0x400100));
+}
+
+TEST(SpawnPredictor, UselessResets)
+{
+    SpawnPredictor sp(10, 4, 12);
+    sp.onThreadRetired(0x400100, false, false);
+    EXPECT_FALSE(sp.selected(0x400100));
+}
+
+TEST(SpawnPredictor, SquashDecrements)
+{
+    SpawnPredictor sp(10, 4, 12);
+    sp.onThreadSquashed(0x400100);
+    EXPECT_EQ(sp.counterOf(0x400100), 1);
+    EXPECT_FALSE(sp.selected(0x400100));
+    sp.onThreadSquashed(0x400100);
+    sp.onThreadSquashed(0x400100);
+    EXPECT_EQ(sp.counterOf(0x400100), 0) << "saturates at zero";
+}
+
+TEST(SpawnPredictor, EstimatorRevivesNearJoins)
+{
+    SpawnPredictor sp(10, 4, 4);
+    const Addr join = 0x400200;
+    sp.onThreadRetired(join, false, false); // reset to 0
+    ASSERT_FALSE(sp.selected(join));
+    // Retirement stream: a spawn point followed shortly by the join,
+    // with enough instructions in between to look worthwhile.
+    for (int round = 0; round < 3; ++round) {
+        sp.onRetireSpawnPoint(join);
+        for (Addr pc = 0x400100; pc < 0x400100 + 40; pc += 4)
+            sp.onRetirePc(pc);
+        sp.onRetirePc(join); // pops and rewards
+    }
+    EXPECT_TRUE(sp.selected(join));
+}
+
+TEST(SpawnPredictor, EstimatorPunishesTinyThreads)
+{
+    SpawnPredictor sp(10, 4, 16);
+    const Addr join = 0x400300;
+    const int before = sp.counterOf(join);
+    sp.onRetireSpawnPoint(join);
+    sp.onRetirePc(join); // joins after 1 instruction: too small
+    EXPECT_LT(sp.counterOf(join), before);
+}
+
+TEST(SpawnPredictor, EstimatorPunishesDistantJoins)
+{
+    SpawnPredictor sp(10, 2, 1); // only 2 contexts
+    const Addr join = 0x400400;
+    const int before = sp.counterOf(join);
+    sp.onRetireSpawnPoint(join);
+    // Three more spawn points pile up before the join: distance 3 >= 2.
+    sp.onRetireSpawnPoint(0x400500);
+    sp.onRetireSpawnPoint(0x400600);
+    sp.onRetireSpawnPoint(0x400700);
+    sp.onRetirePc(0x400700);
+    sp.onRetirePc(0x400600);
+    sp.onRetirePc(0x400500);
+    sp.onRetirePc(join);
+    EXPECT_LE(sp.counterOf(join), before);
+}
+
+TEST(SpawnPredictor, AfterLoopDefaultsToFallThrough)
+{
+    SpawnPredictor sp(10, 4, 12);
+    EXPECT_EQ(sp.predictAfterLoop(0x400800), 0x400804u);
+}
+
+TEST(SpawnPredictor, AfterLoopLearnsRecordedExit)
+{
+    SpawnPredictor sp(10, 4, 12);
+    sp.recordLoopExit(0x400800, 0x400900);
+    EXPECT_EQ(sp.predictAfterLoop(0x400800), 0x400900u);
+    // A different branch address with the same table slot must not
+    // alias (tag check).
+    EXPECT_EQ(sp.predictAfterLoop(0x400800 + 512 * 4), 0x400800u + 2048 + 4);
+}
+
+TEST(DataflowPredictor, LookupMissByDefault)
+{
+    DataflowPredictor df(256);
+    EXPECT_EQ(df.lookup(0x400100), nullptr);
+}
+
+TEST(DataflowPredictor, RecordAndLookup)
+{
+    DataflowPredictor df(256);
+    df.record(0x400100, {{2, 0x1234}, {4, 0x5678}});
+    const DfEntry *e = df.lookup(0x400100);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->n, 2);
+    EXPECT_EQ(e->items[0].reg, 2);
+    EXPECT_EQ(e->items[0].modpc_lo, 0x1234);
+    EXPECT_EQ(e->items[1].reg, 4);
+}
+
+TEST(DataflowPredictor, TagRejectsAliases)
+{
+    DataflowPredictor df(16);
+    df.record(0x400100, {{2, 1}});
+    EXPECT_EQ(df.lookup(0x400100 + 16 * 4), nullptr)
+        << "same index, different start address";
+}
+
+TEST(DataflowPredictor, ClearRemoves)
+{
+    DataflowPredictor df(256);
+    df.record(0x400100, {{2, 1}});
+    df.clear(0x400100);
+    EXPECT_EQ(df.lookup(0x400100), nullptr);
+}
+
+TEST(DataflowPredictor, CapsItemCount)
+{
+    DataflowPredictor df(256);
+    std::vector<DfItem> many;
+    for (int i = 0; i < 10; ++i)
+        many.push_back({static_cast<LogReg>(i), static_cast<u16>(i)});
+    df.record(0x400200, many);
+    const DfEntry *e = df.lookup(0x400200);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->n, DfEntry::kMaxItems);
+}
+
+TEST(DataflowPredictor, RerecordOverwrites)
+{
+    DataflowPredictor df(256);
+    df.record(0x400300, {{2, 1}, {3, 2}});
+    df.record(0x400300, {{7, 9}});
+    const DfEntry *e = df.lookup(0x400300);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->n, 1);
+    EXPECT_EQ(e->items[0].reg, 7);
+}
+
+} // namespace
+} // namespace dmt

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Trace buffer tests: append-time renaming (source refs to last
+ * writers / thread inputs), live-out tracking, truncation with writer
+ * snapshots, and in-order retirement popping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dmt/trace_buffer.hh"
+
+namespace dmt
+{
+namespace
+{
+
+TBEntry
+mk(Opcode op, LogReg rd, LogReg rs, LogReg rt, Addr pc = 0x400000)
+{
+    TBEntry e;
+    e.inst = Instruction{op, rd, rs, rt, 0};
+    e.pc = pc;
+    return e;
+}
+
+TEST(TraceBuffer, AppendAssignsIds)
+{
+    TraceBuffer tb;
+    tb.reset(8);
+    EXPECT_TRUE(tb.empty());
+    const u64 a = tb.append(mk(Opcode::ADDI, 8, 0, 0));
+    const u64 b = tb.append(mk(Opcode::ADDI, 9, 0, 0));
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 1u);
+    EXPECT_EQ(tb.size(), 2);
+    EXPECT_TRUE(tb.contains(a));
+    EXPECT_FALSE(tb.contains(2));
+}
+
+TEST(TraceBuffer, SourceRenaming)
+{
+    TraceBuffer tb;
+    tb.reset(8);
+    // t0 <- thread input t1
+    const u64 i0 = tb.append(mk(Opcode::ADD, 8, 9, 0));
+    const TBEntry &e0 = tb.at(i0);
+    EXPECT_EQ(e0.src[0].kind, SrcRef::ThreadInput);
+    EXPECT_EQ(e0.src[0].reg, 9);
+    EXPECT_EQ(e0.src[1].kind, SrcRef::None) << "r0 source is constant";
+
+    // t2 <- t0 (local) + t1 (thread input)
+    const u64 i1 = tb.append(mk(Opcode::ADD, 10, 8, 9));
+    const TBEntry &e1 = tb.at(i1);
+    EXPECT_EQ(e1.src[0].kind, SrcRef::TbEntry);
+    EXPECT_EQ(e1.src[0].tb_id, i0);
+    EXPECT_EQ(e1.src[1].kind, SrcRef::ThreadInput);
+}
+
+TEST(TraceBuffer, SelfReferenceUsesPreviousWriter)
+{
+    TraceBuffer tb;
+    tb.reset(8);
+    const u64 i0 = tb.append(mk(Opcode::ADDI, 8, 8, 0));
+    const TBEntry &e0 = tb.at(i0);
+    EXPECT_EQ(e0.src[0].kind, SrcRef::ThreadInput)
+        << "first definition reads the thread input";
+    const u64 i1 = tb.append(mk(Opcode::ADDI, 8, 8, 0));
+    EXPECT_EQ(tb.at(i1).src[0].kind, SrcRef::TbEntry);
+    EXPECT_EQ(tb.at(i1).src[0].tb_id, i0);
+}
+
+TEST(TraceBuffer, LiveOutTracking)
+{
+    TraceBuffer tb;
+    tb.reset(8);
+    const u64 i0 = tb.append(mk(Opcode::ADDI, 8, 0, 0));
+    EXPECT_TRUE(tb.isLiveOut(i0));
+    const u64 i1 = tb.append(mk(Opcode::ADDI, 8, 0, 0));
+    EXPECT_FALSE(tb.isLiveOut(i0));
+    EXPECT_TRUE(tb.isLiveOut(i1));
+}
+
+TEST(TraceBuffer, TruncateRestoresWithSnapshot)
+{
+    TraceBuffer tb;
+    tb.reset(8);
+    tb.append(mk(Opcode::ADDI, 8, 0, 0));
+    const auto snap = tb.writerSnapshot();
+    const u64 branch = tb.append(mk(Opcode::BEQ, 0, 8, 9));
+    tb.append(mk(Opcode::ADDI, 9, 0, 0)); // wrong path
+    tb.append(mk(Opcode::ADDI, 8, 0, 0)); // wrong path redefinition
+
+    tb.truncateFrom(branch + 1);
+    tb.restoreWriters(snap);
+    EXPECT_EQ(tb.size(), 2);
+    u64 w = 0;
+    EXPECT_TRUE(tb.lastWriter(8, &w));
+    EXPECT_EQ(w, 0u) << "wrong-path redefinition rolled back";
+    EXPECT_FALSE(tb.lastWriter(9, &w));
+
+    // New appends continue with fresh ids.
+    const u64 nxt = tb.append(mk(Opcode::ADDI, 10, 8, 0));
+    EXPECT_EQ(nxt, branch + 1);
+    EXPECT_EQ(tb.at(nxt).src[0].tb_id, 0u);
+}
+
+TEST(TraceBuffer, PopFrontRetirement)
+{
+    TraceBuffer tb;
+    tb.reset(4);
+    const u64 i0 = tb.append(mk(Opcode::ADDI, 8, 0, 0));
+    tb.append(mk(Opcode::ADD, 9, 8, 0));
+    tb.popFront();
+    EXPECT_FALSE(tb.contains(i0));
+    EXPECT_EQ(tb.firstId(), 1u);
+    // The retired writer is still named by the table; consumers use
+    // the architectural value path.
+    u64 w = 0;
+    EXPECT_TRUE(tb.lastWriter(8, &w));
+    EXPECT_EQ(w, i0);
+    const u64 i2 = tb.append(mk(Opcode::ADD, 10, 8, 0));
+    EXPECT_EQ(tb.at(i2).src[0].kind, SrcRef::TbEntry);
+    EXPECT_EQ(tb.at(i2).src[0].tb_id, i0) << "retired producer id kept";
+}
+
+TEST(TraceBuffer, CapacityAndFull)
+{
+    TraceBuffer tb;
+    tb.reset(3);
+    tb.append(mk(Opcode::NOP, 0, 0, 0));
+    tb.append(mk(Opcode::NOP, 0, 0, 0));
+    EXPECT_FALSE(tb.full());
+    tb.append(mk(Opcode::NOP, 0, 0, 0));
+    EXPECT_TRUE(tb.full());
+    tb.popFront();
+    EXPECT_FALSE(tb.full()) << "retirement frees space";
+    EXPECT_EQ(tb.totalAppended(), 3u);
+}
+
+TEST(TraceBuffer, StoreHasNoDest)
+{
+    TraceBuffer tb;
+    tb.reset(4);
+    const u64 i0 = tb.append(mk(Opcode::SW, 0, 29, 8));
+    EXPECT_FALSE(tb.at(i0).has_dest);
+    EXPECT_EQ(tb.at(i0).src[0].kind, SrcRef::ThreadInput);
+    EXPECT_EQ(tb.at(i0).src[0].reg, 29);
+    EXPECT_EQ(tb.at(i0).src[1].reg, 8);
+    u64 w;
+    EXPECT_FALSE(tb.lastWriter(0, &w));
+}
+
+} // namespace
+} // namespace dmt
