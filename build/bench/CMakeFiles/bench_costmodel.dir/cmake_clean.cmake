@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_costmodel.dir/bench_costmodel.cc.o"
+  "CMakeFiles/bench_costmodel.dir/bench_costmodel.cc.o.d"
+  "bench_costmodel"
+  "bench_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_fetch_ports.dir/bench_fig05_fetch_ports.cc.o"
+  "CMakeFiles/bench_fig05_fetch_ports.dir/bench_fig05_fetch_ports.cc.o.d"
+  "bench_fig05_fetch_ports"
+  "bench_fig05_fetch_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_fetch_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_exec_units.dir/bench_fig06_exec_units.cc.o"
+  "CMakeFiles/bench_fig06_exec_units.dir/bench_fig06_exec_units.cc.o.d"
+  "bench_fig06_exec_units"
+  "bench_fig06_exec_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_exec_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_dataflow.cc" "bench/CMakeFiles/bench_fig10_dataflow.dir/bench_fig10_dataflow.cc.o" "gcc" "bench/CMakeFiles/bench_fig10_dataflow.dir/bench_fig10_dataflow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dmt_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmt_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmt_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmt_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmt_casm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_read_block.dir/bench_fig12_read_block.cc.o"
+  "CMakeFiles/bench_fig12_read_block.dir/bench_fig12_read_block.cc.o.d"
+  "bench_fig12_read_block"
+  "bench_fig12_read_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_read_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_threadstats.dir/bench_threadstats.cc.o"
+  "CMakeFiles/bench_threadstats.dir/bench_threadstats.cc.o.d"
+  "bench_threadstats"
+  "bench_threadstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_threadstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

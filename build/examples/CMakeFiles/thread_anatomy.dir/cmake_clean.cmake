@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_anatomy.dir/thread_anatomy.cpp.o"
+  "CMakeFiles/thread_anatomy.dir/thread_anatomy.cpp.o.d"
+  "thread_anatomy"
+  "thread_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

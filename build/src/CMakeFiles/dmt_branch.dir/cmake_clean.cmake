@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmt_branch.dir/branch/btb.cc.o"
+  "CMakeFiles/dmt_branch.dir/branch/btb.cc.o.d"
+  "CMakeFiles/dmt_branch.dir/branch/gshare.cc.o"
+  "CMakeFiles/dmt_branch.dir/branch/gshare.cc.o.d"
+  "CMakeFiles/dmt_branch.dir/branch/predictor.cc.o"
+  "CMakeFiles/dmt_branch.dir/branch/predictor.cc.o.d"
+  "CMakeFiles/dmt_branch.dir/branch/ras.cc.o"
+  "CMakeFiles/dmt_branch.dir/branch/ras.cc.o.d"
+  "libdmt_branch.a"
+  "libdmt_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmt_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/casm/assembler.cc" "src/CMakeFiles/dmt_casm.dir/casm/assembler.cc.o" "gcc" "src/CMakeFiles/dmt_casm.dir/casm/assembler.cc.o.d"
+  "/root/repo/src/casm/builder.cc" "src/CMakeFiles/dmt_casm.dir/casm/builder.cc.o" "gcc" "src/CMakeFiles/dmt_casm.dir/casm/builder.cc.o.d"
+  "/root/repo/src/casm/program.cc" "src/CMakeFiles/dmt_casm.dir/casm/program.cc.o" "gcc" "src/CMakeFiles/dmt_casm.dir/casm/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dmt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

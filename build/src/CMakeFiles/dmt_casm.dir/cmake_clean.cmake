@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmt_casm.dir/casm/assembler.cc.o"
+  "CMakeFiles/dmt_casm.dir/casm/assembler.cc.o.d"
+  "CMakeFiles/dmt_casm.dir/casm/builder.cc.o"
+  "CMakeFiles/dmt_casm.dir/casm/builder.cc.o.d"
+  "CMakeFiles/dmt_casm.dir/casm/program.cc.o"
+  "CMakeFiles/dmt_casm.dir/casm/program.cc.o.d"
+  "libdmt_casm.a"
+  "libdmt_casm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmt_casm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dmt_casm.
+# This may be replaced when dependencies are built.

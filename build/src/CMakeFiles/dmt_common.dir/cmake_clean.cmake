@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmt_common.dir/common/log.cc.o"
+  "CMakeFiles/dmt_common.dir/common/log.cc.o.d"
+  "CMakeFiles/dmt_common.dir/common/rng.cc.o"
+  "CMakeFiles/dmt_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/dmt_common.dir/common/stats.cc.o"
+  "CMakeFiles/dmt_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/dmt_common.dir/common/strutil.cc.o"
+  "CMakeFiles/dmt_common.dir/common/strutil.cc.o.d"
+  "libdmt_common.a"
+  "libdmt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dmt/dataflow_pred.cc" "src/CMakeFiles/dmt_core.dir/dmt/dataflow_pred.cc.o" "gcc" "src/CMakeFiles/dmt_core.dir/dmt/dataflow_pred.cc.o.d"
+  "/root/repo/src/dmt/engine.cc" "src/CMakeFiles/dmt_core.dir/dmt/engine.cc.o" "gcc" "src/CMakeFiles/dmt_core.dir/dmt/engine.cc.o.d"
+  "/root/repo/src/dmt/engine_execute.cc" "src/CMakeFiles/dmt_core.dir/dmt/engine_execute.cc.o" "gcc" "src/CMakeFiles/dmt_core.dir/dmt/engine_execute.cc.o.d"
+  "/root/repo/src/dmt/engine_fetch.cc" "src/CMakeFiles/dmt_core.dir/dmt/engine_fetch.cc.o" "gcc" "src/CMakeFiles/dmt_core.dir/dmt/engine_fetch.cc.o.d"
+  "/root/repo/src/dmt/engine_rename.cc" "src/CMakeFiles/dmt_core.dir/dmt/engine_rename.cc.o" "gcc" "src/CMakeFiles/dmt_core.dir/dmt/engine_rename.cc.o.d"
+  "/root/repo/src/dmt/engine_retire.cc" "src/CMakeFiles/dmt_core.dir/dmt/engine_retire.cc.o" "gcc" "src/CMakeFiles/dmt_core.dir/dmt/engine_retire.cc.o.d"
+  "/root/repo/src/dmt/io_regfile.cc" "src/CMakeFiles/dmt_core.dir/dmt/io_regfile.cc.o" "gcc" "src/CMakeFiles/dmt_core.dir/dmt/io_regfile.cc.o.d"
+  "/root/repo/src/dmt/lookahead.cc" "src/CMakeFiles/dmt_core.dir/dmt/lookahead.cc.o" "gcc" "src/CMakeFiles/dmt_core.dir/dmt/lookahead.cc.o.d"
+  "/root/repo/src/dmt/lsq.cc" "src/CMakeFiles/dmt_core.dir/dmt/lsq.cc.o" "gcc" "src/CMakeFiles/dmt_core.dir/dmt/lsq.cc.o.d"
+  "/root/repo/src/dmt/order_tree.cc" "src/CMakeFiles/dmt_core.dir/dmt/order_tree.cc.o" "gcc" "src/CMakeFiles/dmt_core.dir/dmt/order_tree.cc.o.d"
+  "/root/repo/src/dmt/recovery.cc" "src/CMakeFiles/dmt_core.dir/dmt/recovery.cc.o" "gcc" "src/CMakeFiles/dmt_core.dir/dmt/recovery.cc.o.d"
+  "/root/repo/src/dmt/spawn_pred.cc" "src/CMakeFiles/dmt_core.dir/dmt/spawn_pred.cc.o" "gcc" "src/CMakeFiles/dmt_core.dir/dmt/spawn_pred.cc.o.d"
+  "/root/repo/src/dmt/stats.cc" "src/CMakeFiles/dmt_core.dir/dmt/stats.cc.o" "gcc" "src/CMakeFiles/dmt_core.dir/dmt/stats.cc.o.d"
+  "/root/repo/src/dmt/thread.cc" "src/CMakeFiles/dmt_core.dir/dmt/thread.cc.o" "gcc" "src/CMakeFiles/dmt_core.dir/dmt/thread.cc.o.d"
+  "/root/repo/src/dmt/trace_buffer.cc" "src/CMakeFiles/dmt_core.dir/dmt/trace_buffer.cc.o" "gcc" "src/CMakeFiles/dmt_core.dir/dmt/trace_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dmt_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmt_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmt_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmt_casm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmt_core.dir/dmt/dataflow_pred.cc.o"
+  "CMakeFiles/dmt_core.dir/dmt/dataflow_pred.cc.o.d"
+  "CMakeFiles/dmt_core.dir/dmt/engine.cc.o"
+  "CMakeFiles/dmt_core.dir/dmt/engine.cc.o.d"
+  "CMakeFiles/dmt_core.dir/dmt/engine_execute.cc.o"
+  "CMakeFiles/dmt_core.dir/dmt/engine_execute.cc.o.d"
+  "CMakeFiles/dmt_core.dir/dmt/engine_fetch.cc.o"
+  "CMakeFiles/dmt_core.dir/dmt/engine_fetch.cc.o.d"
+  "CMakeFiles/dmt_core.dir/dmt/engine_rename.cc.o"
+  "CMakeFiles/dmt_core.dir/dmt/engine_rename.cc.o.d"
+  "CMakeFiles/dmt_core.dir/dmt/engine_retire.cc.o"
+  "CMakeFiles/dmt_core.dir/dmt/engine_retire.cc.o.d"
+  "CMakeFiles/dmt_core.dir/dmt/io_regfile.cc.o"
+  "CMakeFiles/dmt_core.dir/dmt/io_regfile.cc.o.d"
+  "CMakeFiles/dmt_core.dir/dmt/lookahead.cc.o"
+  "CMakeFiles/dmt_core.dir/dmt/lookahead.cc.o.d"
+  "CMakeFiles/dmt_core.dir/dmt/lsq.cc.o"
+  "CMakeFiles/dmt_core.dir/dmt/lsq.cc.o.d"
+  "CMakeFiles/dmt_core.dir/dmt/order_tree.cc.o"
+  "CMakeFiles/dmt_core.dir/dmt/order_tree.cc.o.d"
+  "CMakeFiles/dmt_core.dir/dmt/recovery.cc.o"
+  "CMakeFiles/dmt_core.dir/dmt/recovery.cc.o.d"
+  "CMakeFiles/dmt_core.dir/dmt/spawn_pred.cc.o"
+  "CMakeFiles/dmt_core.dir/dmt/spawn_pred.cc.o.d"
+  "CMakeFiles/dmt_core.dir/dmt/stats.cc.o"
+  "CMakeFiles/dmt_core.dir/dmt/stats.cc.o.d"
+  "CMakeFiles/dmt_core.dir/dmt/thread.cc.o"
+  "CMakeFiles/dmt_core.dir/dmt/thread.cc.o.d"
+  "CMakeFiles/dmt_core.dir/dmt/trace_buffer.cc.o"
+  "CMakeFiles/dmt_core.dir/dmt/trace_buffer.cc.o.d"
+  "libdmt_core.a"
+  "libdmt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmt_exp.dir/exp/experiments.cc.o"
+  "CMakeFiles/dmt_exp.dir/exp/experiments.cc.o.d"
+  "CMakeFiles/dmt_exp.dir/exp/report.cc.o"
+  "CMakeFiles/dmt_exp.dir/exp/report.cc.o.d"
+  "CMakeFiles/dmt_exp.dir/exp/runner.cc.o"
+  "CMakeFiles/dmt_exp.dir/exp/runner.cc.o.d"
+  "libdmt_exp.a"
+  "libdmt_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmt_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmt_isa.dir/isa/disasm.cc.o"
+  "CMakeFiles/dmt_isa.dir/isa/disasm.cc.o.d"
+  "CMakeFiles/dmt_isa.dir/isa/encoding.cc.o"
+  "CMakeFiles/dmt_isa.dir/isa/encoding.cc.o.d"
+  "CMakeFiles/dmt_isa.dir/isa/inst.cc.o"
+  "CMakeFiles/dmt_isa.dir/isa/inst.cc.o.d"
+  "CMakeFiles/dmt_isa.dir/isa/regs.cc.o"
+  "CMakeFiles/dmt_isa.dir/isa/regs.cc.o.d"
+  "libdmt_isa.a"
+  "libdmt_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmt_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

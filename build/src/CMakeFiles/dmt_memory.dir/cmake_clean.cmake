@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmt_memory.dir/memory/cache.cc.o"
+  "CMakeFiles/dmt_memory.dir/memory/cache.cc.o.d"
+  "CMakeFiles/dmt_memory.dir/memory/hierarchy.cc.o"
+  "CMakeFiles/dmt_memory.dir/memory/hierarchy.cc.o.d"
+  "libdmt_memory.a"
+  "libdmt_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmt_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

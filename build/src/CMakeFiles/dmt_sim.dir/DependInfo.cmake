@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/arch_state.cc" "src/CMakeFiles/dmt_sim.dir/sim/arch_state.cc.o" "gcc" "src/CMakeFiles/dmt_sim.dir/sim/arch_state.cc.o.d"
+  "/root/repo/src/sim/checker.cc" "src/CMakeFiles/dmt_sim.dir/sim/checker.cc.o" "gcc" "src/CMakeFiles/dmt_sim.dir/sim/checker.cc.o.d"
+  "/root/repo/src/sim/functional.cc" "src/CMakeFiles/dmt_sim.dir/sim/functional.cc.o" "gcc" "src/CMakeFiles/dmt_sim.dir/sim/functional.cc.o.d"
+  "/root/repo/src/sim/mainmem.cc" "src/CMakeFiles/dmt_sim.dir/sim/mainmem.cc.o" "gcc" "src/CMakeFiles/dmt_sim.dir/sim/mainmem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dmt_casm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmt_sim.dir/sim/arch_state.cc.o"
+  "CMakeFiles/dmt_sim.dir/sim/arch_state.cc.o.d"
+  "CMakeFiles/dmt_sim.dir/sim/checker.cc.o"
+  "CMakeFiles/dmt_sim.dir/sim/checker.cc.o.d"
+  "CMakeFiles/dmt_sim.dir/sim/functional.cc.o"
+  "CMakeFiles/dmt_sim.dir/sim/functional.cc.o.d"
+  "CMakeFiles/dmt_sim.dir/sim/mainmem.cc.o"
+  "CMakeFiles/dmt_sim.dir/sim/mainmem.cc.o.d"
+  "libdmt_sim.a"
+  "libdmt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/config.cc" "src/CMakeFiles/dmt_uarch.dir/uarch/config.cc.o" "gcc" "src/CMakeFiles/dmt_uarch.dir/uarch/config.cc.o.d"
+  "/root/repo/src/uarch/fu.cc" "src/CMakeFiles/dmt_uarch.dir/uarch/fu.cc.o" "gcc" "src/CMakeFiles/dmt_uarch.dir/uarch/fu.cc.o.d"
+  "/root/repo/src/uarch/physregs.cc" "src/CMakeFiles/dmt_uarch.dir/uarch/physregs.cc.o" "gcc" "src/CMakeFiles/dmt_uarch.dir/uarch/physregs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dmt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmt_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmt_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

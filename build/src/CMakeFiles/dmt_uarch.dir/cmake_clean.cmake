@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmt_uarch.dir/uarch/config.cc.o"
+  "CMakeFiles/dmt_uarch.dir/uarch/config.cc.o.d"
+  "CMakeFiles/dmt_uarch.dir/uarch/fu.cc.o"
+  "CMakeFiles/dmt_uarch.dir/uarch/fu.cc.o.d"
+  "CMakeFiles/dmt_uarch.dir/uarch/physregs.cc.o"
+  "CMakeFiles/dmt_uarch.dir/uarch/physregs.cc.o.d"
+  "libdmt_uarch.a"
+  "libdmt_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmt_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/microkernels.cc" "src/CMakeFiles/dmt_workloads.dir/workloads/microkernels.cc.o" "gcc" "src/CMakeFiles/dmt_workloads.dir/workloads/microkernels.cc.o.d"
+  "/root/repo/src/workloads/w_compress.cc" "src/CMakeFiles/dmt_workloads.dir/workloads/w_compress.cc.o" "gcc" "src/CMakeFiles/dmt_workloads.dir/workloads/w_compress.cc.o.d"
+  "/root/repo/src/workloads/w_gcc.cc" "src/CMakeFiles/dmt_workloads.dir/workloads/w_gcc.cc.o" "gcc" "src/CMakeFiles/dmt_workloads.dir/workloads/w_gcc.cc.o.d"
+  "/root/repo/src/workloads/w_go.cc" "src/CMakeFiles/dmt_workloads.dir/workloads/w_go.cc.o" "gcc" "src/CMakeFiles/dmt_workloads.dir/workloads/w_go.cc.o.d"
+  "/root/repo/src/workloads/w_ijpeg.cc" "src/CMakeFiles/dmt_workloads.dir/workloads/w_ijpeg.cc.o" "gcc" "src/CMakeFiles/dmt_workloads.dir/workloads/w_ijpeg.cc.o.d"
+  "/root/repo/src/workloads/w_li.cc" "src/CMakeFiles/dmt_workloads.dir/workloads/w_li.cc.o" "gcc" "src/CMakeFiles/dmt_workloads.dir/workloads/w_li.cc.o.d"
+  "/root/repo/src/workloads/w_m88ksim.cc" "src/CMakeFiles/dmt_workloads.dir/workloads/w_m88ksim.cc.o" "gcc" "src/CMakeFiles/dmt_workloads.dir/workloads/w_m88ksim.cc.o.d"
+  "/root/repo/src/workloads/w_perl.cc" "src/CMakeFiles/dmt_workloads.dir/workloads/w_perl.cc.o" "gcc" "src/CMakeFiles/dmt_workloads.dir/workloads/w_perl.cc.o.d"
+  "/root/repo/src/workloads/w_vortex.cc" "src/CMakeFiles/dmt_workloads.dir/workloads/w_vortex.cc.o" "gcc" "src/CMakeFiles/dmt_workloads.dir/workloads/w_vortex.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/CMakeFiles/dmt_workloads.dir/workloads/workloads.cc.o" "gcc" "src/CMakeFiles/dmt_workloads.dir/workloads/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dmt_casm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

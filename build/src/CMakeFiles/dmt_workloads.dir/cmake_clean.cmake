@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmt_workloads.dir/workloads/microkernels.cc.o"
+  "CMakeFiles/dmt_workloads.dir/workloads/microkernels.cc.o.d"
+  "CMakeFiles/dmt_workloads.dir/workloads/w_compress.cc.o"
+  "CMakeFiles/dmt_workloads.dir/workloads/w_compress.cc.o.d"
+  "CMakeFiles/dmt_workloads.dir/workloads/w_gcc.cc.o"
+  "CMakeFiles/dmt_workloads.dir/workloads/w_gcc.cc.o.d"
+  "CMakeFiles/dmt_workloads.dir/workloads/w_go.cc.o"
+  "CMakeFiles/dmt_workloads.dir/workloads/w_go.cc.o.d"
+  "CMakeFiles/dmt_workloads.dir/workloads/w_ijpeg.cc.o"
+  "CMakeFiles/dmt_workloads.dir/workloads/w_ijpeg.cc.o.d"
+  "CMakeFiles/dmt_workloads.dir/workloads/w_li.cc.o"
+  "CMakeFiles/dmt_workloads.dir/workloads/w_li.cc.o.d"
+  "CMakeFiles/dmt_workloads.dir/workloads/w_m88ksim.cc.o"
+  "CMakeFiles/dmt_workloads.dir/workloads/w_m88ksim.cc.o.d"
+  "CMakeFiles/dmt_workloads.dir/workloads/w_perl.cc.o"
+  "CMakeFiles/dmt_workloads.dir/workloads/w_perl.cc.o.d"
+  "CMakeFiles/dmt_workloads.dir/workloads/w_vortex.cc.o"
+  "CMakeFiles/dmt_workloads.dir/workloads/w_vortex.cc.o.d"
+  "CMakeFiles/dmt_workloads.dir/workloads/workloads.cc.o"
+  "CMakeFiles/dmt_workloads.dir/workloads/workloads.cc.o.d"
+  "libdmt_workloads.a"
+  "libdmt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_dmt.dir/test_engine_dmt.cc.o"
+  "CMakeFiles/test_engine_dmt.dir/test_engine_dmt.cc.o.d"
+  "test_engine_dmt"
+  "test_engine_dmt.pdb"
+  "test_engine_dmt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_dmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_recovery.dir/test_engine_recovery.cc.o"
+  "CMakeFiles/test_engine_recovery.dir/test_engine_recovery.cc.o.d"
+  "test_engine_recovery"
+  "test_engine_recovery.pdb"
+  "test_engine_recovery[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_images.dir/test_images.cc.o"
+  "CMakeFiles/test_images.dir/test_images.cc.o.d"
+  "test_images"
+  "test_images.pdb"
+  "test_images[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_images.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

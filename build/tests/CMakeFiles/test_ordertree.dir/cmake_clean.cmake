@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ordertree.dir/test_ordertree.cc.o"
+  "CMakeFiles/test_ordertree.dir/test_ordertree.cc.o.d"
+  "test_ordertree"
+  "test_ordertree.pdb"
+  "test_ordertree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ordertree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tracebuf.dir/test_tracebuf.cc.o"
+  "CMakeFiles/test_tracebuf.dir/test_tracebuf.cc.o.d"
+  "test_tracebuf"
+  "test_tracebuf.pdb"
+  "test_tracebuf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tracebuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
