@@ -47,7 +47,7 @@ main()
         cols.push_back({"loops-only", c});
     }
 
-    speedupTable(rep, cols);
+    speedupTable(rep, cols, "ablation");
     rep.print();
     return 0;
 }

@@ -1,19 +1,23 @@
 /**
  * @file
  * Shared plumbing for the figure benches: run the whole suite against
- * a set of machine configurations and tabulate speedups over the
- * baseline superscalar.
+ * a set of machine configurations, tabulate speedups over the baseline
+ * superscalar, and optionally archive the full run as a
+ * machine-readable BENCH_<tag>.json artifact.
  */
 
 #ifndef DMT_BENCH_BENCH_COMMON_HH
 #define DMT_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
+#include "common/log.hh"
 #include "common/strutil.hh"
 #include "exp/experiments.hh"
 #include "exp/report.hh"
@@ -30,13 +34,80 @@ struct BenchColumn
     SimConfig cfg;
 };
 
+/** True when per-workload progress logging is suppressed. */
+inline bool
+benchQuiet()
+{
+    const char *q = std::getenv("DMT_BENCH_QUIET");
+    return q && *q && *q != '0';
+}
+
+/**
+ * Write the complete outcome of a speedupTable() run — the rendered
+ * table, every machine configuration, and the full per-workload stat
+ * blocks — to BENCH_<tag>.json for downstream plotting/diffing.
+ */
+inline void
+writeBenchArtifact(const std::string &tag, const Report &rep,
+                   const SimConfig &base_cfg,
+                   const std::vector<BenchColumn> &columns,
+                   const std::vector<RunResult> &base_runs,
+                   const std::map<std::string,
+                                  std::vector<RunResult>> &results)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("artifact").value(std::string_view(tag));
+    w.key("table");
+    rep.jsonOn(w);
+    w.key("base_config");
+    base_cfg.jsonOn(w);
+    w.key("base_runs").beginArray();
+    for (const RunResult &r : base_runs)
+        r.jsonOn(w);
+    w.endArray();
+    w.key("columns").beginArray();
+    for (const auto &c : columns) {
+        w.beginObject();
+        w.key("name").value(std::string_view(c.name));
+        w.key("config");
+        c.cfg.jsonOn(w);
+        w.key("runs").beginArray();
+        auto it = results.find(c.name);
+        if (it != results.end()) {
+            for (const RunResult &r : it->second)
+                r.jsonOn(w);
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    const std::string path = "BENCH_" + tag + ".json";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot write bench artifact %s", path.c_str());
+        return;
+    }
+    const std::string doc = w.str() + "\n";
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    if (!benchQuiet())
+        std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
 /**
  * Run every suite workload on the baseline and on each column's
  * machine; fill @p rep with percentage speedups and an average row.
+ * When @p artifact is non-empty the full results are archived to
+ * BENCH_<artifact>.json.  Per-workload progress goes to stderr unless
+ * DMT_BENCH_QUIET is set.
  * Returns the per-column, per-workload results for follow-up printing.
  */
 inline std::map<std::string, std::vector<RunResult>>
 speedupTable(Report &rep, const std::vector<BenchColumn> &columns,
+             const std::string &artifact = "",
              const SimConfig &base_cfg = exp::baseline())
 {
     std::vector<std::string> headers{"workload"};
@@ -44,8 +115,19 @@ speedupTable(Report &rep, const std::vector<BenchColumn> &columns,
         headers.push_back(c.name);
     rep.columns(headers);
 
+    const bool quiet = benchQuiet();
+    const size_t total = workloadSuite().size();
+    size_t done = 0;
+
     std::map<std::string, std::vector<RunResult>> results;
+    std::vector<RunResult> base_runs;
     for (const WorkloadInfo &w : workloadSuite()) {
+        ++done;
+        if (!quiet) {
+            std::fprintf(stderr, "[%zu/%zu] %s (%zu machines)\n", done,
+                         total, w.name, columns.size() + 1);
+            std::fflush(stderr);
+        }
         const RunResult base = runWorkload(base_cfg, w.name);
         std::vector<double> row;
         for (const auto &c : columns) {
@@ -53,12 +135,15 @@ speedupTable(Report &rep, const std::vector<BenchColumn> &columns,
             row.push_back(speedupPct(base, r));
             results[c.name].push_back(r);
         }
+        base_runs.push_back(base);
         rep.row(w.name, row);
-        std::fprintf(stderr, ".");
-        std::fflush(stderr);
     }
-    std::fprintf(stderr, "\n");
     rep.averageRow();
+
+    if (!artifact.empty()) {
+        writeBenchArtifact(artifact, rep, base_cfg, columns, base_runs,
+                           results);
+    }
     return results;
 }
 

@@ -23,7 +23,7 @@ main()
     for (int threads : {2, 4, 6, 8})
         cols.push_back({strprintf("%dT", threads),
                         exp::fig4Dmt(threads)});
-    speedupTable(rep, cols);
+    speedupTable(rep, cols, "fig04");
     rep.print();
     return 0;
 }

@@ -21,7 +21,7 @@ main()
     for (int ports : {1, 2, 4})
         cols.push_back({strprintf("%dport", ports),
                         exp::fig5Dmt(ports)});
-    speedupTable(rep, cols);
+    speedupTable(rep, cols, "fig05");
     rep.print();
     return 0;
 }

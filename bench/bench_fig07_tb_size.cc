@@ -19,7 +19,7 @@ main()
     std::vector<BenchColumn> cols;
     for (int tb : {25, 50, 100, 200, 500})
         cols.push_back({strprintf("tb%d", tb), exp::fig7Dmt(tb)});
-    speedupTable(rep, cols);
+    speedupTable(rep, cols, "fig07");
     rep.print();
     return 0;
 }

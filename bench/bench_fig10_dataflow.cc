@@ -21,7 +21,7 @@ main()
         {"value-only", exp::fig10Dmt(false)},
         {"value+df", exp::fig10Dmt(true)},
     };
-    speedupTable(rep, cols);
+    speedupTable(rep, cols, "fig10");
     rep.print();
     return 0;
 }

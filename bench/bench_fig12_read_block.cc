@@ -21,7 +21,7 @@ main()
     for (int blk : {2, 4, 6})
         cols.push_back({strprintf("block%d", blk), exp::fig12Dmt(blk)});
     cols.push_back({"ideal", exp::fig12Dmt(0)});
-    speedupTable(rep, cols);
+    speedupTable(rep, cols, "fig12");
     rep.print();
     return 0;
 }

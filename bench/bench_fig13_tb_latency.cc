@@ -19,7 +19,7 @@ main()
     std::vector<BenchColumn> cols;
     for (int lat : {2, 4, 8, 16})
         cols.push_back({strprintf("lat%d", lat), exp::fig13Dmt(lat)});
-    speedupTable(rep, cols);
+    speedupTable(rep, cols, "fig13");
     rep.print();
     return 0;
 }

@@ -1,0 +1,539 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+// ---------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------
+
+void
+JsonWriter::beforeValue()
+{
+    DMT_ASSERT(!(any && depth == 0), "value after complete document");
+    if (depth > 0 && stack[static_cast<size_t>(depth - 1)] == 'o') {
+        DMT_ASSERT(have_key, "object value without a key");
+        have_key = false;
+    } else if (need_comma) {
+        out += ',';
+    }
+    need_comma = true;
+    any = true;
+}
+
+void
+JsonWriter::appendEscaped(std::string_view s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out += '{';
+    stack.push_back('o');
+    ++depth;
+    need_comma = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    DMT_ASSERT(depth > 0 && stack[static_cast<size_t>(depth - 1)] == 'o',
+               "endObject outside an object");
+    DMT_ASSERT(!have_key, "dangling key at endObject");
+    out += '}';
+    stack.pop_back();
+    --depth;
+    need_comma = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out += '[';
+    stack.push_back('a');
+    ++depth;
+    need_comma = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    DMT_ASSERT(depth > 0 && stack[static_cast<size_t>(depth - 1)] == 'a',
+               "endArray outside an array");
+    out += ']';
+    stack.pop_back();
+    --depth;
+    need_comma = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    DMT_ASSERT(depth > 0 && stack[static_cast<size_t>(depth - 1)] == 'o',
+               "key outside an object");
+    DMT_ASSERT(!have_key, "two keys in a row");
+    if (need_comma)
+        out += ',';
+    appendEscaped(k);
+    out += ':';
+    have_key = true;
+    need_comma = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    beforeValue();
+    appendEscaped(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    if (!std::isfinite(v))
+        return nullValue();
+    beforeValue();
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    out += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    out += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(u64 v)
+{
+    beforeValue();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    out += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(i64 v)
+{
+    beforeValue();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::nullValue()
+{
+    beforeValue();
+    out += "null";
+    return *this;
+}
+
+const std::string &
+JsonWriter::str() const
+{
+    DMT_ASSERT(complete(), "JSON document incomplete (depth %d)", depth);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// JsonValue parser
+// ---------------------------------------------------------------------
+
+namespace
+{
+constexpr int kMaxDepth = 256;
+} // namespace
+
+/** Recursive-descent parser over a string_view. */
+class JsonParser
+{
+  public:
+    JsonParser(std::string_view text) : s(text) {}
+
+    bool
+    run(JsonValue *out, std::string *err)
+    {
+        if (!parseValue(out, 0)) {
+            if (err)
+                *err = error + " at offset " + std::to_string(pos);
+            return false;
+        }
+        skipWs();
+        if (pos != s.size()) {
+            if (err)
+                *err = "trailing characters at offset "
+                    + std::to_string(pos);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < s.size()
+               && (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n'
+                   || s[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    bool
+    fail(const char *msg)
+    {
+        if (error.empty())
+            error = msg;
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (s.substr(pos, word.size()) != word)
+            return fail("bad literal");
+        pos += word.size();
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue *out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos >= s.size())
+            return fail("unexpected end of input");
+        switch (s[pos]) {
+          case '{': return parseObject(out, depth);
+          case '[': return parseArray(out, depth);
+          case '"':
+            out->type_ = JsonValue::Type::String;
+            return parseString(&out->str_);
+          case 't':
+            out->type_ = JsonValue::Type::Bool;
+            out->bool_ = true;
+            return literal("true");
+          case 'f':
+            out->type_ = JsonValue::Type::Bool;
+            out->bool_ = false;
+            return literal("false");
+          case 'n':
+            out->type_ = JsonValue::Type::Null;
+            return literal("null");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseNumber(JsonValue *out)
+    {
+        const size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        while (pos < s.size()
+               && (std::isdigit(static_cast<unsigned char>(s[pos]))
+                   || s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E'
+                   || s[pos] == '+' || s[pos] == '-')) {
+            ++pos;
+        }
+        if (pos == start)
+            return fail("expected a value");
+        const std::string text(s.substr(start, pos - start));
+        char *end = nullptr;
+        out->num = std::strtod(text.c_str(), &end);
+        if (end != text.c_str() + text.size())
+            return fail("malformed number");
+        out->type_ = JsonValue::Type::Number;
+        return true;
+    }
+
+    void
+    appendUtf8(std::string *out, u32 cp)
+    {
+        if (cp < 0x80) {
+            *out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            *out += static_cast<char>(0xC0 | (cp >> 6));
+            *out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            *out += static_cast<char>(0xE0 | (cp >> 12));
+            *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            *out += static_cast<char>(0xF0 | (cp >> 18));
+            *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    bool
+    parseHex4(u32 *out)
+    {
+        if (pos + 4 > s.size())
+            return fail("truncated \\u escape");
+        u32 v = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = s[pos + static_cast<size_t>(i)];
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<u32>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<u32>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= static_cast<u32>(c - 'A' + 10);
+            else
+                return fail("bad \\u escape");
+        }
+        pos += 4;
+        *out = v;
+        return true;
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        ++pos; // opening quote
+        out->clear();
+        while (true) {
+            if (pos >= s.size())
+                return fail("unterminated string");
+            const char c = s[pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                *out += c;
+                continue;
+            }
+            if (pos >= s.size())
+                return fail("truncated escape");
+            const char e = s[pos++];
+            switch (e) {
+              case '"': *out += '"'; break;
+              case '\\': *out += '\\'; break;
+              case '/': *out += '/'; break;
+              case 'b': *out += '\b'; break;
+              case 'f': *out += '\f'; break;
+              case 'n': *out += '\n'; break;
+              case 'r': *out += '\r'; break;
+              case 't': *out += '\t'; break;
+              case 'u': {
+                  u32 cp;
+                  if (!parseHex4(&cp))
+                      return false;
+                  if (cp >= 0xD800 && cp < 0xDC00
+                      && pos + 1 < s.size() && s[pos] == '\\'
+                      && s[pos + 1] == 'u') {
+                      pos += 2;
+                      u32 low;
+                      if (!parseHex4(&low))
+                          return false;
+                      cp = 0x10000 + ((cp - 0xD800) << 10)
+                          + (low - 0xDC00);
+                  }
+                  appendUtf8(out, cp);
+                  break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+    }
+
+    bool
+    parseArray(JsonValue *out, int depth)
+    {
+        ++pos; // '['
+        out->type_ = JsonValue::Type::Array;
+        skipWs();
+        if (pos < s.size() && s[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            out->elems.emplace_back();
+            if (!parseValue(&out->elems.back(), depth + 1))
+                return false;
+            skipWs();
+            if (pos >= s.size())
+                return fail("unterminated array");
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseObject(JsonValue *out, int depth)
+    {
+        ++pos; // '{'
+        out->type_ = JsonValue::Type::Object;
+        skipWs();
+        if (pos < s.size() && s[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos >= s.size() || s[pos] != '"')
+                return fail("expected object key");
+            std::string k;
+            if (!parseString(&k))
+                return false;
+            skipWs();
+            if (pos >= s.size() || s[pos] != ':')
+                return fail("expected ':'");
+            ++pos;
+            out->membs.emplace_back(std::move(k), JsonValue{});
+            if (!parseValue(&out->membs.back().second, depth + 1))
+                return false;
+            skipWs();
+            if (pos >= s.size())
+                return fail("unterminated object");
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    std::string_view s;
+    size_t pos = 0;
+    std::string error;
+};
+
+bool
+JsonValue::parse(std::string_view text, JsonValue *out, std::string *err)
+{
+    *out = JsonValue{};
+    JsonParser p(text);
+    return p.run(out, err);
+}
+
+bool
+JsonValue::asBool() const
+{
+    DMT_ASSERT(type_ == Type::Bool, "not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    DMT_ASSERT(type_ == Type::Number, "not a number");
+    return num;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    DMT_ASSERT(type_ == Type::String, "not a string");
+    return str_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &k) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &[key, v] : membs) {
+        if (key == k)
+            return &v;
+    }
+    return nullptr;
+}
+
+void
+JsonValue::writeTo(JsonWriter &w) const
+{
+    switch (type_) {
+      case Type::Null: w.nullValue(); break;
+      case Type::Bool: w.value(bool_); break;
+      case Type::Number: w.value(num); break;
+      case Type::String: w.value(std::string_view(str_)); break;
+      case Type::Array:
+        w.beginArray();
+        for (const JsonValue &v : elems)
+            v.writeTo(w);
+        w.endArray();
+        break;
+      case Type::Object:
+        w.beginObject();
+        for (const auto &[k, v] : membs) {
+            w.key(k);
+            v.writeTo(w);
+        }
+        w.endObject();
+        break;
+    }
+}
+
+std::string
+JsonValue::dump() const
+{
+    JsonWriter w;
+    writeTo(w);
+    return w.str();
+}
+
+} // namespace dmt

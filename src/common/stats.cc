@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/json.hh"
 #include "common/log.hh"
 
 namespace dmt
@@ -99,6 +100,13 @@ StatGroup::addAverage(const std::string &name, const Average *a,
     averages.push_back({name, a, desc});
 }
 
+void
+StatGroup::addHistogram(const std::string &name, const Histogram *h,
+                        const std::string &desc)
+{
+    histograms.push_back({name, h, desc});
+}
+
 std::string
 StatGroup::dump() const
 {
@@ -120,7 +128,51 @@ StatGroup::dump() const
                       e.avg->min(), e.avg->max());
         os << line;
     }
+    for (const auto &e : histograms) {
+        std::snprintf(line, sizeof(line), "%s.%-32s ", name_.c_str(),
+                      e.name.c_str());
+        os << line << e.hist->toString() << "  # " << e.desc << "\n";
+    }
     return os.str();
+}
+
+void
+StatGroup::jsonOn(JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("name").value(std::string_view(name_));
+
+    w.key("counters").beginObject();
+    for (const auto &e : counters)
+        w.key(e.name).value(e.counter->value());
+    w.endObject();
+
+    w.key("averages").beginObject();
+    for (const auto &e : averages) {
+        w.key(e.name).beginObject();
+        w.key("mean").value(e.avg->mean());
+        w.key("min").value(e.avg->min());
+        w.key("max").value(e.avg->max());
+        w.key("count").value(e.avg->count());
+        w.endObject();
+    }
+    w.endObject();
+
+    w.key("histograms").beginObject();
+    for (const auto &e : histograms) {
+        const Histogram &h = *e.hist;
+        w.key(e.name).beginObject();
+        w.key("lo").value(h.bucketLow(0));
+        w.key("hi").value(h.bucketHigh(h.numBuckets() - 1));
+        w.key("total").value(h.count());
+        w.key("buckets").beginArray();
+        for (int i = 0; i < h.numBuckets(); ++i)
+            w.value(h.bucketCount(i));
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
 }
 
 } // namespace dmt

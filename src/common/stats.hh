@@ -16,6 +16,8 @@
 namespace dmt
 {
 
+class JsonWriter;
+
 /** A named 64-bit event counter. */
 class Counter
 {
@@ -90,9 +92,14 @@ class StatGroup
                     const std::string &desc);
     void addAverage(const std::string &name, const Average *a,
                     const std::string &desc);
+    void addHistogram(const std::string &name, const Histogram *h,
+                      const std::string &desc);
 
     /** Format all registered stats, one per line. */
     std::string dump() const;
+
+    /** Serialize all registered stats as a JSON object. */
+    void jsonOn(JsonWriter &w) const;
 
     const std::string &name() const { return name_; }
 
@@ -109,10 +116,17 @@ class StatGroup
         const Average *avg;
         std::string desc;
     };
+    struct HistogramEntry
+    {
+        std::string name;
+        const Histogram *hist;
+        std::string desc;
+    };
 
     std::string name_;
     std::vector<CounterEntry> counters;
     std::vector<AverageEntry> averages;
+    std::vector<HistogramEntry> histograms;
 };
 
 } // namespace dmt

@@ -25,6 +25,7 @@ DmtEngine::DmtEngine(const SimConfig &cfg_, const Program &prog_)
     cfg.validate();
     if (const char *dbg = std::getenv("DMT_DEBUG"))
         debug_trace = dbg[0] != '0';
+    tracer_.configure(traceOptionsFromEnv(cfg.trace));
     mem.loadProgram(prog);
     if (cfg.check_golden)
         checker = std::make_unique<GoldenChecker>(prog);
@@ -59,6 +60,29 @@ DmtEngine::DmtEngine(const SimConfig &cfg_, const Program &prog_)
             init.regs[static_cast<size_t>(r)];
     }
     head_validated = true;
+
+    emitTrace(TraceStage::Thread, TraceEventKind::ThreadSpawn, 0,
+              prog.entry, static_cast<u64>(static_cast<i64>(kNoThread)),
+              0);
+}
+
+void
+DmtEngine::traceSampleTick()
+{
+    TraceSample s;
+    s.cycle = now_;
+    s.retired = stats_.retired.value();
+    s.early_retired = stats_.early_retired.value();
+    s.dispatched = stats_.dispatched.value();
+    s.issued = stats_.issued.value();
+    s.threads_spawned = stats_.threads_spawned.value();
+    s.threads_squashed = stats_.threads_squashed.value();
+    s.recoveries = stats_.recoveries.value();
+    s.recovery_dispatches = stats_.recovery_dispatches.value();
+    s.lsq_violations = stats_.lsq_violations.value();
+    s.active_threads = tree.size();
+    s.window_used = window_used;
+    tracer_.sample(s);
 }
 
 ThreadContext &
@@ -160,6 +184,9 @@ DmtEngine::step()
 
     stats_.active_threads.sample(static_cast<double>(tree.size()));
 
+    if (tracer_.sampleDue(now_))
+        traceSampleTick();
+
     // Prune lookahead episodes that can no longer match: any retiring
     // instruction was fetched at most a full pipeline lifetime ago.
     if ((now_ & 0x3FF) == 0) {
@@ -200,6 +227,8 @@ DmtEngine::run()
     stats_.icache_accesses += hier.l1i().misses() + hier.l1i().hits();
     stats_.dcache_misses += hier.l1d().misses();
     stats_.dcache_accesses += hier.l1d().misses() + hier.l1d().hits();
+
+    tracer_.finish();
 }
 
 // ---------------------------------------------------------------------
@@ -363,12 +392,15 @@ DmtEngine::squashThread(ThreadContext &t)
     }
     t.pipe.clear();
 
+    const u64 discarded = t.tb.endId() - t.tb.firstId();
     for (u64 id = t.tb.endId(); id > t.tb.firstId(); --id)
         releaseEntryState(t, t.tb.at(id - 1), true);
     t.tb.truncateFrom(t.tb.firstId());
 
     spawn_pred.onThreadSquashed(t.start_pc);
     ++stats_.threads_squashed;
+    emitTrace(TraceStage::Thread, TraceEventKind::ThreadSquash, t.id,
+              t.start_pc, discarded);
 
     // Resume the predecessor if it had stopped at our start PC.
     const ThreadId pred = tree.predecessor(t.id);

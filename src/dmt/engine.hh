@@ -40,6 +40,7 @@
 #include "memory/hierarchy.hh"
 #include "sim/checker.hh"
 #include "sim/mainmem.hh"
+#include "trace/tracer.hh"
 #include "uarch/fu.hh"
 #include "uarch/physregs.hh"
 
@@ -85,6 +86,9 @@ class DmtEngine : public OrderOracle
 
     /** Number of currently active thread contexts. */
     int activeThreads() const { return tree.size(); }
+
+    /** Telemetry front door (sink injection, ring readback). */
+    Tracer &tracer() { return tracer_; }
 
     // OrderOracle: program order of two dynamic memory operations.
     bool memBefore(ThreadId tid_a, u64 tb_a, ThreadId tid_b,
@@ -143,6 +147,7 @@ class DmtEngine : public OrderOracle
     void wakeOperand(DynInst *d, int op, u32 value);
     void makeReady(DynInst *d);
     void recoveryStepThread(ThreadContext &t, int &dispatch_budget);
+    void noteRecoveryDone(ThreadContext &t);
     bool redispatchEntry(ThreadContext &t, TBEntry &entry);
     void requestRecovery(ThreadContext &t, const RecoveryRequest &req);
     void handleLsqViolations(const std::vector<i32> &lq_ids);
@@ -265,7 +270,18 @@ class DmtEngine : public OrderOracle
     bool memdepConservative(Addr pc) const;
     void memdepTrain(Addr pc, bool violated);
 
+    /** Telemetry hook: stamps events with the current cycle.  Inlined
+     *  one-branch no-op while tracing is disabled. */
+    void
+    emitTrace(TraceStage stage, TraceEventKind kind, ThreadId tid,
+              Addr pc = 0, u64 a = 0, u64 b = 0)
+    {
+        tracer_.emit(now_, tid, stage, kind, pc, a, b);
+    }
+    void traceSampleTick();
+
     DmtStats stats_;
+    Tracer tracer_;
 };
 
 } // namespace dmt

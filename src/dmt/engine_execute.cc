@@ -160,6 +160,9 @@ DmtEngine::handleLsqViolations(const std::vector<i32> &lq_ids)
         if (!tc || !tc->tb.contains(ld.tb_id))
             continue;
         ++stats_.lsq_violations;
+        emitTrace(TraceStage::Lsq, TraceEventKind::LsqViolation,
+                  tc->id, tc->tb.at(ld.tb_id).pc,
+                  static_cast<u64>(ld.tb_id));
         memdepTrain(tc->tb.at(ld.tb_id).pc, true);
         RecoveryRequest req;
         req.start_tb_id = ld.tb_id;
@@ -303,6 +306,8 @@ DmtEngine::issueDyn(DynInst *d)
     d->state = DynState::Issued;
     d->issue_cycle = now_;
     ++stats_.issued;
+    emitTrace(TraceStage::Execute, TraceEventKind::InstIssue, d->tid,
+              d->pc, d->tb_id);
     executeDyn(d);
 }
 
@@ -365,6 +370,9 @@ DmtEngine::resolveControl(DynInst *d, TBEntry &entry)
             // than the paper's retirement-time flush; later threads are
             // untouched either way (control independence).
             ++stats_.late_divergences;
+            emitTrace(TraceStage::Execute,
+                      TraceEventKind::LateDivergence, t.id, d->pc,
+                      actual);
             ++t.divergence_repairs;
             entry.trace_next_pc = actual;
             entry.divergence = false;
@@ -376,8 +384,12 @@ DmtEngine::resolveControl(DynInst *d, TBEntry &entry)
         // Paper Section 3.3: handled at the branch's final retirement.
         entry.divergence = div;
         entry.divergence_target = actual;
-        if (div)
+        if (div) {
             ++stats_.late_divergences;
+            emitTrace(TraceStage::Execute,
+                      TraceEventKind::LateDivergence, t.id, d->pc,
+                      actual);
+        }
         return;
     }
 
@@ -400,6 +412,8 @@ DmtEngine::resolveControl(DynInst *d, TBEntry &entry)
         ++stats_.cond_mispredicts;
     else if (inst.isIndirect())
         ++stats_.indirect_mispredicts;
+    emitTrace(TraceStage::Execute, TraceEventKind::BranchMispredict,
+              t.id, d->pc, actual);
 
     if (cfg.isDmt())
         entry.branch_episode = branch_eps.open(entry.fetch_cycle, now_);
@@ -430,6 +444,8 @@ DmtEngine::completeDyn(DynInst *d)
 {
     d->state = DynState::Done;
     d->complete_cycle = now_;
+    emitTrace(TraceStage::Execute, TraceEventKind::InstComplete, d->tid,
+              d->pc, d->tb_id);
 
     if (d->dest_phys != kNoPhysReg)
         deliverPhys(d->dest_phys, d->result);
@@ -558,6 +574,9 @@ DmtEngine::recoveryStepThread(ThreadContext &t, int &dispatch_budget)
             f.state = RecoveryFsm::State::Latency;
             f.latency_left = cfg.tb_latency;
             ++stats_.recoveries;
+            emitTrace(TraceStage::Recovery,
+                      TraceEventKind::RecoveryStart, t.id, 0,
+                      f.cur.start_tb_id);
             ++t.recoveries_started;
             break;
         }
@@ -621,12 +640,25 @@ DmtEngine::recoveryStepThread(ThreadContext &t, int &dispatch_budget)
         if (f.dep_flags == 0
             && f.next_root >= f.cur.load_roots.size()) {
             f.state = RecoveryFsm::State::Idle;
+            noteRecoveryDone(t);
             return;
         }
     }
 
-    if (f.walk_pos >= t.tb.endId())
+    if (f.walk_pos >= t.tb.endId()) {
         f.state = RecoveryFsm::State::Idle;
+        noteRecoveryDone(t);
+    }
+}
+
+void
+DmtEngine::noteRecoveryDone(ThreadContext &t)
+{
+    const u64 walked = t.recov.walk_pos > t.recov.cur.start_tb_id
+        ? t.recov.walk_pos - t.recov.cur.start_tb_id : 0;
+    stats_.recovery_walk_hist.sample(static_cast<double>(walked));
+    emitTrace(TraceStage::Recovery, TraceEventKind::RecoveryEnd, t.id,
+              0, walked);
 }
 
 void

@@ -38,6 +38,8 @@ DmtEngine::fetchForThread(ThreadContext &t, int max_insts)
             // Reached the start of the next thread in the order list:
             // this thread's job is done (paper Section 2).
             t.stopped = true;
+            emitTrace(TraceStage::Fetch, TraceEventKind::ThreadStop,
+                      t.id, t.pc);
             if (debug_trace)
                 std::fprintf(stderr, "[%llu] stop tid=%d at pc=0x%x "
                              "succ=%d\n", (unsigned long long)now_, t.id,
@@ -52,6 +54,8 @@ DmtEngine::fetchForThread(ThreadContext &t, int max_insts)
         // ICache lookup; a miss stalls only this thread.
         const Cycle extra = hier.instAccess(t.pc);
         if (extra > 0) {
+            emitTrace(TraceStage::Fetch, TraceEventKind::IcacheMiss,
+                      t.id, t.pc, extra);
             t.fetch_ready = now_ + extra;
             if (cfg.isDmt()) {
                 t.pending_imiss_episode =
@@ -69,6 +73,9 @@ DmtEngine::fetchForThread(ThreadContext &t, int max_insts)
         fi.ready_cycle = now_ + static_cast<Cycle>(cfg.frontend_depth);
         fi.imiss_episode = t.pending_imiss_episode;
         t.pending_imiss_episode = 0;
+
+        emitTrace(TraceStage::Fetch, TraceEventKind::InstFetch, t.id,
+                  t.pc);
 
         if (inst.isHalt()) {
             t.fq.push_back(fi);

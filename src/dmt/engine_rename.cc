@@ -226,6 +226,9 @@ DmtEngine::spawnThread(ThreadContext &parent, TBEntry &entry,
         parent.loop_spawned.insert(entry.pc);
 
     ++stats_.threads_spawned;
+    emitTrace(TraceStage::Thread, TraceEventKind::ThreadSpawn, child_id,
+              start_pc, static_cast<u64>(static_cast<i64>(parent.id)),
+              is_loop ? 1 : 0);
 }
 
 void
@@ -356,6 +359,8 @@ DmtEngine::dispatchOne(ThreadContext &t, const FetchedInst &fi)
 
     ++window_used;
     ++stats_.dispatched;
+    emitTrace(TraceStage::Rename, TraceEventKind::InstDispatch, t.id,
+              d->pc, entry.id);
     ++entry.dispatch_count;
     t.pipe.push_back(d->self);
 

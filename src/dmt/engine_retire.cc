@@ -285,6 +285,8 @@ DmtEngine::finalRetireEntry(ThreadContext &t, TBEntry &entry)
     ++t.retired_count;
     ++retired_total;
     ++stats_.retired;
+    emitTrace(TraceStage::Retire, TraceEventKind::InstRetire, t.id,
+              entry.pc, entry.fetch_cycle, entry.id);
     if (retire_hook)
         retire_hook(entry, t.id);
     t.tb.popFront();
@@ -365,6 +367,10 @@ DmtEngine::fullyRetireThread(ThreadContext &t)
         stats_.thread_size.sample(static_cast<double>(t.retired_count));
         stats_.thread_overlap.sample(overlap);
     }
+    stats_.thread_size_hist.sample(static_cast<double>(t.retired_count));
+    emitTrace(TraceStage::Thread, TraceEventKind::ThreadRetire, t.id,
+              t.start_pc, t.retired_count,
+              t.stopped && !t.fetched_halt ? 1 : 0);
 
     tree.remove(t.id);
     t.active = false;
@@ -391,6 +397,8 @@ DmtEngine::finalRetireHead()
             ++stats_.st_headswitch;
             return;
         }
+        emitTrace(TraceStage::Retire, TraceEventKind::HeadSwitch, t.id,
+                  t.start_pc);
     }
     int width = cfg.retire_width;
     while (width > 0) {

@@ -30,6 +30,8 @@ DmtStats::registerAll(StatGroup &group) const
                      "fraction executed while speculative");
     group.addAverage("active_threads", &active_threads,
                      "thread contexts active per cycle");
+    group.addHistogram("thread_size_hist", &thread_size_hist,
+                       "retired instructions per thread");
 
     group.addCounter("cond_branches", &cond_branches,
                      "conditional branches resolved");
@@ -57,6 +59,8 @@ DmtStats::registerAll(StatGroup &group) const
                      "selective recovery walks");
     group.addCounter("recovery_dispatches", &recovery_dispatches,
                      "instructions re-dispatched by recovery");
+    group.addHistogram("recovery_walk_hist", &recovery_walk_hist,
+                       "trace-buffer entries read per recovery walk");
     group.addCounter("df_corrections", &df_corrections,
                      "dataflow-predicted input corrections");
     group.addCounter("df_matches", &df_matches,

@@ -33,6 +33,9 @@ struct DmtStats
     Average thread_size;      ///< retired instructions per joined thread
     Average thread_overlap;   ///< fraction executed while speculative
     Average active_threads;   ///< sampled per cycle
+    /** Distribution of retired instructions per thread (all threads,
+     *  including the initial one and unjoined ones). */
+    Histogram thread_size_hist{0.0, 512.0, 16};
 
     // ---- branches ----------------------------------------------------------
     Counter cond_branches;    ///< resolved conditional branches
@@ -52,6 +55,8 @@ struct DmtStats
     // ---- data speculation ------------------------------------------------
     Counter recoveries;            ///< recovery walks performed
     Counter recovery_dispatches;   ///< instructions re-dispatched
+    /** Distribution of trace-buffer entries read per recovery walk. */
+    Histogram recovery_walk_hist{0.0, 256.0, 16};
     Counter df_corrections;        ///< dataflow-predicted input updates
     Counter df_matches;            ///< last-modifier watch matches
     Counter df_deliveries;         ///< values delivered via dataflow

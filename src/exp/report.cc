@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/json.hh"
 #include "common/log.hh"
 #include "common/strutil.hh"
 
@@ -82,6 +83,31 @@ Report::print() const
 {
     std::fputs(render().c_str(), stdout);
     std::fflush(stdout);
+}
+
+void
+Report::jsonOn(JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("title").value(std::string_view(title));
+    w.key("paper_note").value(std::string_view(paper_note));
+    w.key("columns").beginArray();
+    for (const std::string &c : cols)
+        w.value(std::string_view(c));
+    w.endArray();
+    w.key("rows").beginArray();
+    for (const Row &r : rows) {
+        w.beginObject();
+        w.key("label").value(std::string_view(r.label));
+        w.key("is_average").value(r.is_average);
+        w.key("values").beginArray();
+        for (double v : r.values)
+            w.value(v);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
 }
 
 } // namespace dmt

@@ -14,6 +14,8 @@
 namespace dmt
 {
 
+class JsonWriter;
+
 /** Simple fixed-width table. */
 class Report
 {
@@ -38,6 +40,9 @@ class Report
 
     /** Render and print to stdout. */
     void print() const;
+
+    /** Serialize the table (title, columns, rows) as JSON. */
+    void jsonOn(JsonWriter &w) const;
 
   private:
     std::string title;

@@ -2,12 +2,29 @@
 
 #include <cstdlib>
 
+#include "common/json.hh"
 #include "common/log.hh"
 #include "dmt/engine.hh"
 #include "workloads/workloads.hh"
 
 namespace dmt
 {
+
+void
+RunResult::jsonOn(JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("workload").value(std::string_view(workload));
+    w.key("cycles").value(cycles);
+    w.key("retired").value(retired);
+    w.key("completed").value(completed);
+    w.key("ipc").value(ipc);
+    StatGroup group("dmt");
+    stats.registerAll(group);
+    w.key("stats");
+    group.jsonOn(w);
+    w.endObject();
+}
 
 u64
 benchRunLength()

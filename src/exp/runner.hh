@@ -17,6 +17,8 @@
 namespace dmt
 {
 
+class JsonWriter;
+
 /** Outcome of one simulation run. */
 struct RunResult
 {
@@ -26,6 +28,9 @@ struct RunResult
     bool completed = false; ///< program HALTed before the cap
     double ipc = 0.0;
     DmtStats stats;
+
+    /** Serialize (headline numbers plus the full stat block). */
+    void jsonOn(JsonWriter &w) const;
 };
 
 /**

@@ -1,0 +1,268 @@
+#include "trace/chrome_sink.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "common/strutil.hh"
+
+namespace dmt
+{
+
+namespace
+{
+
+/** Common fields of every trace-event object. */
+JsonWriter &
+header(JsonWriter &w, const char *ph, const std::string &name,
+       ThreadId tid, Cycle ts)
+{
+    w.beginObject();
+    w.key("name").value(std::string_view(name));
+    w.key("ph").value(ph);
+    w.key("ts").value(static_cast<u64>(ts));
+    w.key("pid").value(0);
+    w.key("tid").value(static_cast<i64>(tid));
+    return w;
+}
+
+/** Generic payload rendering: the PC and both payload words. */
+void
+eventArgs(JsonWriter &w, const TraceEvent &e)
+{
+    w.key("args").beginObject();
+    w.key("pc").value(std::string_view(strprintf("0x%x", e.pc)));
+    w.key("a").value(e.a);
+    w.key("b").value(e.b);
+    w.key("kind").value(traceEventKindName(e.kind));
+    w.endObject();
+}
+
+} // namespace
+
+ChromeSink::ChromeSink(std::string path_, bool insts_)
+    : path(std::move(path_)), insts(insts_)
+{
+    // Process metadata: a single simulated "process".
+    JsonWriter w;
+    w.beginObject();
+    w.key("name").value("process_name");
+    w.key("ph").value("M");
+    w.key("pid").value(0);
+    w.key("args").beginObject().key("name").value("dmtsim").endObject();
+    w.endObject();
+    append(w.str());
+}
+
+ChromeSink::~ChromeSink()
+{
+    finish();
+}
+
+void
+ChromeSink::append(const std::string &json_obj)
+{
+    if (!first)
+        body += ",\n";
+    first = false;
+    body += json_obj;
+    ++events_written;
+}
+
+ChromeSink::Track &
+ChromeSink::track(ThreadId tid)
+{
+    Track &t = tracks[static_cast<size_t>(tid)];
+    if (!t.seen) {
+        t.seen = true;
+        metaString(tid, "thread_name", strprintf("ctx %d", tid));
+    }
+    return t;
+}
+
+void
+ChromeSink::metaString(ThreadId tid, const char *what,
+                       const std::string &name)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("name").value(what);
+    w.key("ph").value("M");
+    w.key("pid").value(0);
+    w.key("tid").value(static_cast<i64>(tid));
+    w.key("args").beginObject().key("name")
+        .value(std::string_view(name)).endObject();
+    w.endObject();
+    append(w.str());
+}
+
+void
+ChromeSink::duration(char ph, ThreadId tid, Cycle ts,
+                     const std::string &name, const TraceEvent *args)
+{
+    const char phs[2] = {ph, 0};
+    JsonWriter w;
+    header(w, phs, name, tid, ts);
+    if (args)
+        eventArgs(w, *args);
+    w.endObject();
+    append(w.str());
+}
+
+void
+ChromeSink::instant(ThreadId tid, Cycle ts, const std::string &name,
+                    const TraceEvent &e)
+{
+    JsonWriter w;
+    header(w, "i", name, tid, ts);
+    w.key("s").value("t");
+    eventArgs(w, e);
+    w.endObject();
+    append(w.str());
+}
+
+void
+ChromeSink::closeRecovery(ThreadId tid, Cycle ts)
+{
+    Track &t = tracks[static_cast<size_t>(tid)];
+    if (!t.recov_open)
+        return;
+    duration('E', tid, ts, "recovery", nullptr);
+    t.recov_open = false;
+}
+
+void
+ChromeSink::closeThread(ThreadId tid, Cycle ts)
+{
+    Track &t = tracks[static_cast<size_t>(tid)];
+    closeRecovery(tid, ts);
+    if (!t.thread_open)
+        return;
+    duration('E', tid, ts, "thread", nullptr);
+    t.thread_open = false;
+}
+
+void
+ChromeSink::event(const TraceEvent &e)
+{
+    if (finished || e.tid < 0
+        || e.tid >= static_cast<ThreadId>(kMaxTracks)) {
+        return;
+    }
+    last_ts = std::max(last_ts, e.cycle);
+    Track &t = track(e.tid);
+
+    switch (e.kind) {
+      case TraceEventKind::ThreadSpawn:
+        closeThread(e.tid, e.cycle);
+        duration('B', e.tid, e.cycle, strprintf("thread 0x%x", e.pc),
+                 &e);
+        t.thread_open = true;
+        break;
+
+      case TraceEventKind::ThreadRetire:
+        instant(e.tid, e.cycle, "thread-retire", e);
+        closeThread(e.tid, e.cycle);
+        break;
+
+      case TraceEventKind::ThreadSquash:
+        instant(e.tid, e.cycle, "thread-squash", e);
+        closeThread(e.tid, e.cycle);
+        break;
+
+      case TraceEventKind::RecoveryStart:
+        if (!t.thread_open) {
+            // Event stream began mid-lifetime (e.g. sink attached
+            // late): synthesize an open slice so B/E stay balanced.
+            duration('B', e.tid, e.cycle, "thread", nullptr);
+            t.thread_open = true;
+        }
+        closeRecovery(e.tid, e.cycle);
+        duration('B', e.tid, e.cycle, "recovery", &e);
+        t.recov_open = true;
+        break;
+
+      case TraceEventKind::RecoveryEnd:
+        closeRecovery(e.tid, e.cycle);
+        break;
+
+      case TraceEventKind::ThreadStop:
+      case TraceEventKind::BranchMispredict:
+      case TraceEventKind::LateDivergence:
+      case TraceEventKind::LsqViolation:
+      case TraceEventKind::IcacheMiss:
+      case TraceEventKind::HeadSwitch:
+        instant(e.tid, e.cycle, traceEventKindName(e.kind), e);
+        break;
+
+      case TraceEventKind::InstRetire:
+        if (insts) {
+            // One slice per retired instruction: fetch to final
+            // retirement (payload a carries the fetch cycle).
+            JsonWriter w;
+            header(w, "X", strprintf("0x%x", e.pc), e.tid, e.a);
+            const u64 dur = e.cycle > e.a ? e.cycle - e.a : 1;
+            w.key("dur").value(dur);
+            eventArgs(w, e);
+            w.endObject();
+            append(w.str());
+        }
+        break;
+
+      case TraceEventKind::InstFetch:
+      case TraceEventKind::InstDispatch:
+      case TraceEventKind::InstIssue:
+      case TraceEventKind::InstComplete:
+      case TraceEventKind::kCount:
+        break; // too granular for slice rendering; see RingSink
+    }
+}
+
+void
+ChromeSink::sample(const TraceSample &s)
+{
+    if (finished)
+        return;
+    last_ts = std::max(last_ts, s.cycle);
+    JsonWriter w;
+    header(w, "C", "machine", 0, s.cycle);
+    w.key("args").beginObject();
+    w.key("active_threads").value(s.active_threads);
+    w.key("window_used").value(s.window_used);
+    w.endObject();
+    w.endObject();
+    append(w.str());
+}
+
+std::string
+ChromeSink::document() const
+{
+    return "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n" + body
+        + "\n]}\n";
+}
+
+void
+ChromeSink::finish()
+{
+    if (finished)
+        return;
+    for (int tid = 0; tid < kMaxTracks; ++tid) {
+        if (tracks[static_cast<size_t>(tid)].seen)
+            closeThread(tid, last_ts);
+    }
+    finished = true;
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("chrome trace: cannot open %s for writing", path.c_str());
+        return;
+    }
+    const std::string doc = document();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    inform("chrome trace written to %s (%llu events)", path.c_str(),
+           static_cast<unsigned long long>(events_written));
+}
+
+} // namespace dmt

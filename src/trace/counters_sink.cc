@@ -1,0 +1,95 @@
+#include "trace/counters_sink.hh"
+
+#include <cstdio>
+
+#include "common/json.hh"
+#include "common/log.hh"
+
+namespace dmt
+{
+
+CountersSink::CountersSink(std::string path_, int period_)
+    : path(std::move(path_)), period(period_)
+{
+    samples.reserve(256);
+}
+
+CountersSink::~CountersSink()
+{
+    finish();
+}
+
+void
+CountersSink::event(const TraceEvent &e)
+{
+    const size_t k = static_cast<size_t>(e.kind);
+    if (k < counts.size())
+        ++counts[k];
+}
+
+void
+CountersSink::sample(const TraceSample &s)
+{
+    samples.push_back(s);
+}
+
+void
+CountersSink::jsonOn(JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("sample_period").value(period);
+
+    w.key("event_counts").beginObject();
+    for (size_t k = 0; k < counts.size(); ++k) {
+        if (counts[k] == 0)
+            continue;
+        w.key(traceEventKindName(static_cast<TraceEventKind>(k)))
+            .value(counts[k]);
+    }
+    w.endObject();
+
+    w.key("samples").beginArray();
+    for (const TraceSample &s : samples) {
+        w.beginObject();
+        w.key("cycle").value(s.cycle);
+        w.key("retired").value(s.retired);
+        w.key("early_retired").value(s.early_retired);
+        w.key("dispatched").value(s.dispatched);
+        w.key("issued").value(s.issued);
+        w.key("threads_spawned").value(s.threads_spawned);
+        w.key("threads_squashed").value(s.threads_squashed);
+        w.key("recoveries").value(s.recoveries);
+        w.key("recovery_dispatches").value(s.recovery_dispatches);
+        w.key("lsq_violations").value(s.lsq_violations);
+        w.key("active_threads").value(s.active_threads);
+        w.key("window_used").value(s.window_used);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
+CountersSink::finish()
+{
+    if (finished)
+        return;
+    finished = true;
+
+    JsonWriter w;
+    jsonOn(w);
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("counters trace: cannot open %s for writing",
+             path.c_str());
+        return;
+    }
+    const std::string doc = w.str() + "\n";
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    inform("counters trace written to %s (%zu samples)", path.c_str(),
+           samples.size());
+}
+
+} // namespace dmt

@@ -1,0 +1,46 @@
+#include "trace/event.hh"
+
+namespace dmt
+{
+
+const char *
+traceEventKindName(TraceEventKind k)
+{
+    switch (k) {
+      case TraceEventKind::InstFetch: return "inst-fetch";
+      case TraceEventKind::InstDispatch: return "inst-dispatch";
+      case TraceEventKind::InstIssue: return "inst-issue";
+      case TraceEventKind::InstComplete: return "inst-complete";
+      case TraceEventKind::InstRetire: return "inst-retire";
+      case TraceEventKind::IcacheMiss: return "icache-miss";
+      case TraceEventKind::ThreadStop: return "thread-stop";
+      case TraceEventKind::BranchMispredict: return "branch-mispredict";
+      case TraceEventKind::LateDivergence: return "late-divergence";
+      case TraceEventKind::ThreadSpawn: return "thread-spawn";
+      case TraceEventKind::ThreadSquash: return "thread-squash";
+      case TraceEventKind::ThreadRetire: return "thread-retire";
+      case TraceEventKind::HeadSwitch: return "head-switch";
+      case TraceEventKind::RecoveryStart: return "recovery-start";
+      case TraceEventKind::RecoveryEnd: return "recovery-end";
+      case TraceEventKind::LsqViolation: return "lsq-violation";
+      case TraceEventKind::kCount: break;
+    }
+    return "unknown";
+}
+
+const char *
+traceStageName(TraceStage s)
+{
+    switch (s) {
+      case TraceStage::Fetch: return "fetch";
+      case TraceStage::Rename: return "rename";
+      case TraceStage::Execute: return "execute";
+      case TraceStage::Retire: return "retire";
+      case TraceStage::Thread: return "thread";
+      case TraceStage::Recovery: return "recovery";
+      case TraceStage::Lsq: return "lsq";
+    }
+    return "unknown";
+}
+
+} // namespace dmt

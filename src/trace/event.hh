@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The cycle-level telemetry event taxonomy.  Every observable pipeline
+ * happening is reported as one TraceEvent: which cycle, which hardware
+ * thread context, which pipeline stage reported it, what kind, plus a
+ * PC and two kind-specific payload words.  Events are cheap POD so the
+ * emit path stays allocation-free.
+ */
+
+#ifndef DMT_TRACE_EVENT_HH
+#define DMT_TRACE_EVENT_HH
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+/** Pipeline stage (or subsystem) that reported an event. */
+enum class TraceStage : u8
+{
+    Fetch,
+    Rename,
+    Execute,
+    Retire,
+    Thread,   ///< thread lifecycle (spawn / squash / join / retire)
+    Recovery, ///< trace-buffer recovery walks
+    Lsq,      ///< load/store queue disambiguation
+};
+
+/** What happened.  Payload conventions are noted per kind. */
+enum class TraceEventKind : u8
+{
+    // Per-instruction lifecycle.  pc = instruction PC.
+    InstFetch,        ///< a = 0
+    InstDispatch,     ///< a = trace-buffer id
+    InstIssue,        ///< a = trace-buffer id
+    InstComplete,     ///< a = trace-buffer id
+    InstRetire,       ///< a = fetch cycle, b = trace-buffer id
+
+    // Frontend conditions.
+    IcacheMiss,       ///< pc = missing PC, a = stall cycles
+    ThreadStop,       ///< control reached the successor's start PC
+
+    // Control mispeculation.
+    BranchMispredict, ///< pc = branch, a = corrected target
+    LateDivergence,   ///< pc = branch, a = corrected target
+
+    // Thread lifecycle.
+    ThreadSpawn,      ///< pc = start PC, a = parent tid, b = loop flag
+    ThreadSquash,     ///< pc = start PC, a = instructions discarded
+    ThreadRetire,     ///< pc = start PC, a = retired count, b = joined
+    HeadSwitch,       ///< head thread's inputs validated architectural
+
+    // Data mispeculation and recovery.
+    RecoveryStart,    ///< a = walk start trace-buffer id
+    RecoveryEnd,      ///< a = entries walked
+    LsqViolation,     ///< pc = load PC, a = load trace-buffer id
+
+    kCount            ///< number of kinds (array sizing)
+};
+
+constexpr int kNumTraceEventKinds =
+    static_cast<int>(TraceEventKind::kCount);
+
+/** One telemetry event. */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    ThreadId tid = kNoThread;
+    TraceStage stage = TraceStage::Fetch;
+    TraceEventKind kind = TraceEventKind::InstFetch;
+    Addr pc = 0;
+    u64 a = 0; ///< kind-specific payload (see TraceEventKind)
+    u64 b = 0; ///< kind-specific payload
+};
+
+/** Stable lowercase name, e.g. "thread-spawn". */
+const char *traceEventKindName(TraceEventKind k);
+
+/** Stable lowercase name, e.g. "recovery". */
+const char *traceStageName(TraceStage s);
+
+} // namespace dmt
+
+#endif // DMT_TRACE_EVENT_HH

@@ -1,0 +1,51 @@
+#include "trace/ring_sink.hh"
+
+#include "common/log.hh"
+
+namespace dmt
+{
+
+RingSink::RingSink(size_t capacity) : cap(capacity)
+{
+    DMT_ASSERT(capacity > 0, "ring sink needs a positive capacity");
+    buf.reserve(capacity < 4096 ? capacity : 4096);
+}
+
+void
+RingSink::event(const TraceEvent &e)
+{
+    ++captured_;
+    if (buf.size() < cap) {
+        buf.push_back(e);
+        return;
+    }
+    buf[head] = e;
+    head = (head + 1) % cap;
+}
+
+const TraceEvent &
+RingSink::at(size_t i) const
+{
+    DMT_ASSERT(i < buf.size(), "ring index out of range");
+    return buf[(head + i) % buf.size()];
+}
+
+std::vector<TraceEvent>
+RingSink::snapshot() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(buf.size());
+    for (size_t i = 0; i < buf.size(); ++i)
+        out.push_back(at(i));
+    return out;
+}
+
+void
+RingSink::clear()
+{
+    buf.clear();
+    head = 0;
+    captured_ = 0;
+}
+
+} // namespace dmt

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Bounded in-memory event collector: keeps the most recent N events in
+ * a ring.  The default sink when tracing is enabled without a file
+ * exporter; tests and interactive tooling read it back through
+ * snapshot()/at().
+ */
+
+#ifndef DMT_TRACE_RING_SINK_HH
+#define DMT_TRACE_RING_SINK_HH
+
+#include <vector>
+
+#include "trace/sink.hh"
+
+namespace dmt
+{
+
+/** Fixed-capacity ring buffer of TraceEvents (oldest overwritten). */
+class RingSink : public TraceSink
+{
+  public:
+    explicit RingSink(size_t capacity);
+
+    void event(const TraceEvent &e) override;
+
+    /** Total events ever delivered (including overwritten ones). */
+    u64 captured() const { return captured_; }
+
+    /** Events currently held. */
+    size_t size() const { return buf.size(); }
+
+    size_t capacity() const { return cap; }
+
+    /** i-th held event, oldest first. */
+    const TraceEvent &at(size_t i) const;
+
+    /** Copy of the held events, oldest first. */
+    std::vector<TraceEvent> snapshot() const;
+
+    void clear();
+
+  private:
+    size_t cap;
+    size_t head = 0; ///< index of the oldest event once full
+    u64 captured_ = 0;
+    std::vector<TraceEvent> buf;
+};
+
+} // namespace dmt
+
+#endif // DMT_TRACE_RING_SINK_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The pluggable sink interface of the telemetry subsystem.  A Tracer
+ * fans every TraceEvent out to its sinks and, every sample_period
+ * cycles, hands them a TraceSample — a small snapshot of the engine's
+ * headline counters — so sinks can build time series without depending
+ * on the engine's stats types.
+ */
+
+#ifndef DMT_TRACE_SINK_HH
+#define DMT_TRACE_SINK_HH
+
+#include "trace/event.hh"
+
+namespace dmt
+{
+
+/** Periodic snapshot of headline engine counters (cumulative). */
+struct TraceSample
+{
+    Cycle cycle = 0;
+    u64 retired = 0;
+    u64 early_retired = 0;
+    u64 dispatched = 0;
+    u64 issued = 0;
+    u64 threads_spawned = 0;
+    u64 threads_squashed = 0;
+    u64 recoveries = 0;
+    u64 recovery_dispatches = 0;
+    u64 lsq_violations = 0;
+    int active_threads = 0;
+    int window_used = 0;
+};
+
+/** Consumer of telemetry.  Implementations must tolerate any event
+ *  order a legal simulation produces and must be cheap per event. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** One pipeline event. */
+    virtual void event(const TraceEvent &e) = 0;
+
+    /** Periodic counters snapshot (optional). */
+    virtual void sample(const TraceSample &s) { (void)s; }
+
+    /** Flush/serialize.  Called once, at end of run or destruction. */
+    virtual void finish() {}
+};
+
+} // namespace dmt
+
+#endif // DMT_TRACE_SINK_HH

@@ -1,0 +1,134 @@
+#include "trace/tracer.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/log.hh"
+#include "trace/chrome_sink.hh"
+#include "trace/counters_sink.hh"
+#include "trace/ring_sink.hh"
+
+namespace dmt
+{
+
+Tracer::~Tracer()
+{
+    finish();
+}
+
+void
+Tracer::configure(const TraceOptions &opts)
+{
+    sinks_.clear();
+    ring_ = nullptr;
+    enabled_ = false;
+    finished_ = false;
+    sample_period_ = opts.sample_period;
+
+    if (!opts.enabled)
+        return;
+
+    bool any_selected = opts.ring || opts.chrome || opts.counters;
+    if (opts.ring || !any_selected) {
+        auto ring = std::make_unique<RingSink>(
+            opts.ring_capacity > 0
+                ? static_cast<size_t>(opts.ring_capacity) : 1);
+        ring_ = ring.get();
+        sinks_.push_back(std::move(ring));
+    }
+    if (opts.chrome) {
+        sinks_.push_back(std::make_unique<ChromeSink>(opts.chrome_file,
+                                                      opts.insts));
+    }
+    if (opts.counters) {
+        sinks_.push_back(std::make_unique<CountersSink>(
+            opts.counters_file, opts.sample_period));
+    }
+    enabled_ = !sinks_.empty();
+}
+
+void
+Tracer::addSink(std::unique_ptr<TraceSink> sink)
+{
+    DMT_ASSERT(sink != nullptr, "addSink needs a sink");
+    if (!ring_)
+        ring_ = dynamic_cast<RingSink *>(sink.get());
+    sinks_.push_back(std::move(sink));
+    enabled_ = true;
+    finished_ = false;
+}
+
+void
+Tracer::sample(const TraceSample &s)
+{
+    if (!enabled_)
+        return;
+    for (auto &snk : sinks_)
+        snk->sample(s);
+}
+
+void
+Tracer::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    for (auto &snk : sinks_)
+        snk->finish();
+}
+
+TraceOptions
+traceOptionsFromEnv(TraceOptions base)
+{
+    const char *spec = std::getenv("DMT_TRACE");
+    if (spec && *spec) {
+        std::string s(spec);
+        if (s == "0" || s == "off") {
+            base.enabled = false;
+        } else {
+            base.enabled = true;
+            // "1" keeps whatever the config selected (default: ring).
+            size_t pos = 0;
+            while (pos <= s.size()) {
+                size_t comma = s.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = s.size();
+                std::string tok = s.substr(pos, comma - pos);
+                pos = comma + 1;
+                if (tok.empty() || tok == "1" || tok == "on")
+                    continue;
+                if (tok == "ring")
+                    base.ring = true;
+                else if (tok == "chrome")
+                    base.chrome = true;
+                else if (tok == "counters")
+                    base.counters = true;
+                else if (tok == "insts")
+                    base.insts = true;
+                else
+                    warn("DMT_TRACE: unknown sink '%s' ignored",
+                         tok.c_str());
+            }
+        }
+    }
+
+    if (const char *file = std::getenv("DMT_TRACE_FILE"); file && *file)
+        base.chrome_file = file;
+    if (const char *file = std::getenv("DMT_TRACE_COUNTERS_FILE");
+        file && *file) {
+        base.counters_file = file;
+    }
+    if (const char *period = std::getenv("DMT_TRACE_SAMPLE");
+        period && *period) {
+        base.sample_period = std::atoi(period);
+    }
+    if (const char *cap = std::getenv("DMT_TRACE_RING"); cap && *cap) {
+        base.ring_capacity = std::atoi(cap);
+        if (base.ring_capacity > 0)
+            base.ring = true;
+    }
+    return base;
+}
+
+} // namespace dmt

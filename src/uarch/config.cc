@@ -1,5 +1,6 @@
 #include "uarch/config.hh"
 
+#include "common/json.hh"
 #include "common/log.hh"
 #include "common/strutil.hh"
 
@@ -87,6 +88,32 @@ SimConfig::summary() const
                       : strprintf("%dalu/%dmd/%dmem", fus.alu, fus.muldiv,
                                   fus.mem_ports)
                             .c_str());
+}
+
+void
+SimConfig::jsonOn(JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("machine").value(isDmt() ? "dmt" : "baseline");
+    w.key("max_threads").value(max_threads);
+    w.key("spawn_on_call").value(spawn_on_call);
+    w.key("spawn_on_loop").value(spawn_on_loop);
+    w.key("value_prediction").value(value_prediction);
+    w.key("dataflow_prediction").value(dataflow_prediction);
+    w.key("fetch_ports").value(fetch_ports);
+    w.key("fetch_block").value(fetch_block);
+    w.key("window_size").value(window_size);
+    w.key("retire_width").value(retire_width);
+    w.key("unlimited_fus").value(unlimited_fus);
+    w.key("phys_regs").value(physRegCount());
+    w.key("tb_size").value(tb_size);
+    w.key("tb_latency").value(tb_latency);
+    w.key("tb_read_block").value(tb_read_block);
+    w.key("lq_size").value(lqSize());
+    w.key("sq_size").value(sqSize());
+    w.key("lat_mem").value(lat_mem);
+    w.key("max_retired").value(max_retired);
+    w.endObject();
 }
 
 } // namespace dmt

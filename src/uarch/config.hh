@@ -13,9 +13,12 @@
 
 #include "branch/predictor.hh"
 #include "memory/hierarchy.hh"
+#include "trace/options.hh"
 
 namespace dmt
 {
+
+class JsonWriter;
 
 /** Execution resource counts for the realistic configuration. */
 struct FuParams
@@ -137,6 +140,11 @@ struct SimConfig
     /** Verify every retired instruction against the golden model. */
     bool check_golden = true;
 
+    // ---- telemetry ---------------------------------------------------------
+    /** Trace subsystem configuration; DMT_TRACE et al. override at
+     *  engine construction (see trace/tracer.hh). */
+    TraceOptions trace;
+
     /** True when this machine runs DMT (more than one context). */
     bool isDmt() const { return max_threads > 1; }
 
@@ -160,6 +168,9 @@ struct SimConfig
 
     /** Human-readable one-line summary. */
     std::string summary() const;
+
+    /** Serialize the headline knobs as a JSON object. */
+    void jsonOn(JsonWriter &w) const;
 };
 
 } // namespace dmt
