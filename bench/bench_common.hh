@@ -128,13 +128,35 @@ speedupTable(Report &rep, const std::vector<BenchColumn> &columns,
                          total, w.name, columns.size() + 1);
             std::fflush(stderr);
         }
-        const RunResult base = runWorkload(base_cfg, w.name);
-        std::vector<double> row;
-        for (const auto &c : columns) {
-            const RunResult r = runWorkload(c.cfg, w.name);
-            row.push_back(speedupPct(base, r));
-            results[c.name].push_back(r);
+        // A wedged or miscomputing run (SimError) drops this workload
+        // from the table with a warning instead of killing the sweep.
+        RunResult base;
+        try {
+            base = runWorkload(base_cfg, w.name);
+        } catch (const SimError &err) {
+            warn("bench: skipping %s (baseline failed: %s)", w.name,
+                 err.what());
+            continue;
         }
+        std::vector<double> row;
+        std::vector<RunResult> col_runs;
+        bool row_ok = true;
+        for (const auto &c : columns) {
+            try {
+                const RunResult r = runWorkload(c.cfg, w.name);
+                row.push_back(speedupPct(base, r));
+                col_runs.push_back(r);
+            } catch (const SimError &err) {
+                warn("bench: skipping %s (%s failed: %s)", w.name,
+                     c.name.c_str(), err.what());
+                row_ok = false;
+                break;
+            }
+        }
+        if (!row_ok)
+            continue;
+        for (size_t i = 0; i < columns.size(); ++i)
+            results[columns[i].name].push_back(col_runs[i]);
         base_runs.push_back(base);
         rep.row(w.name, row);
     }
@@ -148,5 +170,26 @@ speedupTable(Report &rep, const std::vector<BenchColumn> &columns,
 }
 
 } // namespace dmt
+
+/** Implemented by each figure-bench translation unit. */
+int benchMain();
+
+/**
+ * Shared entry point for the figure benches.  speedupTable() already
+ * skips individual workloads whose runs throw; this catches a SimError
+ * that escapes the sweep itself (e.g. a panic while building configs)
+ * and turns it into a diagnostic plus exit status 1 instead of
+ * std::terminate().
+ */
+int
+main()
+{
+    try {
+        return benchMain();
+    } catch (const dmt::SimError &err) {
+        std::fprintf(stderr, "bench: fatal: %s\n", err.what());
+        return 1;
+    }
+}
 
 #endif // DMT_BENCH_BENCH_COMMON_HH

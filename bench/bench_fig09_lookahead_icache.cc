@@ -12,7 +12,7 @@
 #include "bench_common.hh"
 
 int
-main()
+benchMain()
 {
     using namespace dmt;
     Report rep(

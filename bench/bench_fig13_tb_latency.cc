@@ -8,7 +8,7 @@
 #include "bench_common.hh"
 
 int
-main()
+benchMain()
 {
     using namespace dmt;
     Report rep(

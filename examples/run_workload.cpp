@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/log.hh"
 #include "common/stats.hh"
 #include "dmt/engine.hh"
 #include "workloads/workloads.hh"
@@ -45,7 +46,14 @@ main(int argc, char **argv)
                 cfg.summary().c_str());
     const Program prog = buildWorkload(name);
     DmtEngine engine(cfg, prog);
-    engine.run();
+    try {
+        engine.run();
+    } catch (const SimError &err) {
+        // A watchdog or invariant-audit panic: the post-mortem JSON has
+        // already been written; exit cleanly with the diagnostic.
+        std::fprintf(stderr, "run aborted: %s\n", err.what());
+        return 1;
+    }
 
     if (!engine.goldenOk()) {
         std::fprintf(stderr, "GOLDEN MISMATCH: %s\n",

@@ -20,6 +20,20 @@ vreport(const char *tag, const char *fmt, va_list ap)
     std::fflush(stderr);
 }
 
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list copy;
+    va_copy(copy, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (n <= 0)
+        return std::string();
+    std::string out(static_cast<size_t>(n), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap);
+    return out;
+}
+
 } // namespace
 
 void
@@ -27,9 +41,25 @@ panic(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    vreport("panic", fmt, ap);
+    std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::abort();
+    std::fflush(stdout);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::fflush(stderr);
+    throw SimError(std::move(msg));
+}
+
+void
+panicWithDetails(std::string details_json, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fflush(stdout);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::fflush(stderr);
+    throw SimError(std::move(msg), std::move(details_json));
 }
 
 void
@@ -68,19 +98,18 @@ void
 panicAssert(const char *cond, const char *file, int line, const char *fmt,
             ...)
 {
-    std::fflush(stdout);
-    std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d", cond,
-                 file, line);
+    std::string msg = "assertion '" + std::string(cond) + "' failed at "
+        + file + ":" + std::to_string(line);
     if (fmt && fmt[0] != '\0') {
-        std::fprintf(stderr, ": ");
         va_list ap;
         va_start(ap, fmt);
-        std::vfprintf(stderr, fmt, ap);
+        msg += ": " + vformat(fmt, ap);
         va_end(ap);
     }
-    std::fprintf(stderr, "\n");
+    std::fflush(stdout);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
     std::fflush(stderr);
-    std::abort();
+    throw SimError(std::move(msg));
 }
 
 void

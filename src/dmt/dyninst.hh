@@ -151,6 +151,13 @@ class DynPool
         return slots[static_cast<size_t>(ref.slot)];
     }
 
+    /** Const handle resolution (invariant auditing). */
+    const DynInst *
+    get(DynRef ref) const
+    {
+        return const_cast<DynPool *>(this)->get(ref);
+    }
+
     int live() const { return live_; }
 
     ~DynPool()

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/strutil.hh"
+#include "fault/auditor.hh"
+#include "fault/postmortem.hh"
 #include "sim/arch_state.hh"
 #include "sim/functional.hh"
 
@@ -25,7 +27,14 @@ DmtEngine::DmtEngine(const SimConfig &cfg_, const Program &prog_)
     cfg.validate();
     if (const char *dbg = std::getenv("DMT_DEBUG"))
         debug_trace = dbg[0] != '0';
+    if (const char *wd = std::getenv("DMT_WATCHDOG"); wd && *wd)
+        cfg.watchdog_cycles = std::strtoull(wd, nullptr, 10);
+    if (const char *ap = std::getenv("DMT_AUDIT"); ap && *ap)
+        cfg.audit_period = std::max(0, std::atoi(ap));
+    if (const char *crash = std::getenv("DMT_CRASH_FILE"))
+        cfg.crash_file = crash;
     tracer_.configure(traceOptionsFromEnv(cfg.trace));
+    injector_.configure(faultOptionsFromEnv(cfg.fault));
     mem.loadProgram(prog);
     if (cfg.check_golden)
         checker = std::make_unique<GoldenChecker>(prog);
@@ -198,6 +207,12 @@ DmtEngine::step()
     ++now_;
     ++stats_.cycles;
 
+    // Invariant audit between cycles (zero cost when off: one compare).
+    if (cfg.audit_period > 0
+        && now_ % static_cast<Cycle>(cfg.audit_period) == 0) {
+        InvariantAuditor::check(*this);
+    }
+
     if (cfg.max_retired > 0 && retired_total >= cfg.max_retired)
         done_ = true;
     if (cfg.max_cycles > 0 && now_ >= cfg.max_cycles)
@@ -214,11 +229,9 @@ DmtEngine::run()
         if (retired_total != last_retired) {
             last_retired = retired_total;
             last_progress = now_;
-        } else if (now_ - last_progress > 500000) {
-            panic("no retirement progress for 500000 cycles at cycle "
-                  "%llu (retired %llu) — engine deadlock",
-                  static_cast<unsigned long long>(now_),
-                  static_cast<unsigned long long>(retired_total));
+        } else if (cfg.watchdog_cycles > 0
+                   && now_ - last_progress > cfg.watchdog_cycles) {
+            watchdogExpired();
         }
     }
 
@@ -229,6 +242,41 @@ DmtEngine::run()
     stats_.dcache_accesses += hier.l1d().misses() + hier.l1d().hits();
 
     tracer_.finish();
+}
+
+void
+DmtEngine::watchdogExpired()
+{
+    // Name the context that stopped retiring: final retirement only
+    // ever happens from the head thread, so describe its state.
+    const ThreadId head = tree.head();
+    std::string culprit;
+    if (head == kNoThread) {
+        culprit = "no active thread holds the retirement token";
+    } else {
+        const ThreadContext &h = ctx(head);
+        const char *recov_state =
+            h.recov.state == RecoveryFsm::State::Walk      ? "walking"
+            : h.recov.state == RecoveryFsm::State::Latency ? "in latency"
+                                                           : "idle";
+        culprit = strprintf(
+            "head tid %d stopped retiring (pc=0x%x, %d trace-buffer "
+            "entries [%llu..%llu), %zu in pipe, %s, recovery %s with "
+            "%zu queued, %d threads active)",
+            head, h.pc, h.tb.size(),
+            static_cast<unsigned long long>(h.tb.firstId()),
+            static_cast<unsigned long long>(h.tb.endId()),
+            h.pipe.size(), h.stopped ? "stopped" : "fetching",
+            recov_state, h.recov.queue.size(), tree.size());
+    }
+    std::string details = Postmortem::dump(*this, "watchdog", culprit);
+    panicWithDetails(std::move(details),
+                     "no retirement progress for %llu cycles at cycle "
+                     "%llu (retired %llu): %s",
+                     static_cast<unsigned long long>(cfg.watchdog_cycles),
+                     static_cast<unsigned long long>(now_),
+                     static_cast<unsigned long long>(retired_total),
+                     culprit.c_str());
 }
 
 // ---------------------------------------------------------------------
@@ -358,6 +406,7 @@ DmtEngine::inThreadSquash(ThreadContext &t, u64 from_tb_id,
     if (fsm.state == RecoveryFsm::State::Latency
         && fsm.cur.start_tb_id >= t.tb.endId()) {
         fsm.state = RecoveryFsm::State::Idle;
+        fsm.latency_left = 0; // canonical idle state (audited)
     }
     for (auto &r : fsm.queue) {
         std::erase_if(r.load_roots,

@@ -37,6 +37,7 @@
 #include "dmt/spawn_pred.hh"
 #include "dmt/stats.hh"
 #include "dmt/thread.hh"
+#include "fault/injector.hh"
 #include "memory/hierarchy.hh"
 #include "sim/checker.hh"
 #include "sim/mainmem.hh"
@@ -90,6 +91,9 @@ class DmtEngine : public OrderOracle
     /** Telemetry front door (sink injection, ring readback). */
     Tracer &tracer() { return tracer_; }
 
+    /** Fault injector (configured from cfg.fault + DMT_FAULT env). */
+    const FaultInjector &faults() const { return injector_; }
+
     // OrderOracle: program order of two dynamic memory operations.
     bool memBefore(ThreadId tid_a, u64 tb_a, ThreadId tid_b,
                    u64 tb_b) const override;
@@ -102,7 +106,9 @@ class DmtEngine : public OrderOracle
     bool debug_trace = false;
 
   private:
-    friend class EngineInspector; // white-box testing hook
+    friend class EngineInspector;   // white-box testing hook
+    friend class InvariantAuditor;  // structural invariant sweeps
+    friend class Postmortem;        // crash-dump state snapshotter
 
     // ---- pipeline stages (one file each) --------------------------------
     void doWriteback();
@@ -178,6 +184,7 @@ class DmtEngine : public OrderOracle
     bool isHead(const ThreadContext &t) const;
     PhysReg allocPhys();
     void checkRegConservation();
+    [[noreturn]] void watchdogExpired();
 
     // ---- configuration and substrate -------------------------------------
     SimConfig cfg;
@@ -282,6 +289,7 @@ class DmtEngine : public OrderOracle
 
     DmtStats stats_;
     Tracer tracer_;
+    FaultInjector injector_;
 };
 
 } // namespace dmt

@@ -447,6 +447,27 @@ DmtEngine::completeDyn(DynInst *d)
     emitTrace(TraceStage::Execute, TraceEventKind::InstComplete, d->tid,
               d->pc, d->tb_id);
 
+    // Fault injection: deliver a corrupted load value, modelled as an
+    // over-aggressive value-speculated load.  The corruption is paired
+    // with a load-root recovery request — exactly the shape of an LSQ
+    // ordering violation — so the recovery walk re-issues the load and
+    // re-executes its dependents before anything can finally retire
+    // (lowWater() holds retirement below the walk).  Recovery
+    // incarnations are exempt or the walk would never converge.
+    if (injector_.enabled() && d->inst.isLoad() && !d->is_recovery) {
+        ThreadContext *lt = get(d->tid, d->tgen);
+        if (lt && lt->tb.contains(d->tb_id)
+            && lt->tb.at(d->tb_id).uid == d->uid
+            && injector_.shouldInject(FaultSite::LoadValue)) {
+            d->result =
+                injector_.corruptValue(FaultSite::LoadValue, d->result);
+            RecoveryRequest req;
+            req.start_tb_id = d->tb_id;
+            req.load_roots.push_back(d->tb_id);
+            requestRecovery(*lt, req);
+        }
+    }
+
     if (d->dest_phys != kNoPhysReg)
         deliverPhys(d->dest_phys, d->result);
 
@@ -455,7 +476,16 @@ DmtEngine::completeDyn(DynInst *d)
         ThreadContext *tc = get(target.tid, target.tgen);
         if (tc) {
             ++stats_.df_deliveries;
-            deliverInput(*tc, target.reg, d->result, true);
+            u32 value = d->result;
+            // Fault injection: corrupt the dataflow-predicted delivery.
+            // The target thread consumes the wrong input like any value
+            // misprediction; the head-switch final check repairs it.
+            if (injector_.shouldInject(FaultSite::DataflowValue)) {
+                value =
+                    injector_.corruptValue(FaultSite::DataflowValue,
+                                           value);
+            }
+            deliverInput(*tc, target.reg, value, true);
         }
     }
 

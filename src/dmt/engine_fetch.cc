@@ -88,6 +88,16 @@ DmtEngine::fetchForThread(ThreadContext &t, int max_insts)
             fi.has_bstate = true;
         }
         fi.pred = bpu.predict(inst, t.pc, t.bstate);
+        // Fault injection: flip a conditional-branch prediction.  The
+        // thread fetches down the wrong path until the branch executes;
+        // the ordinary checkpoint-restore misprediction machinery (a
+        // checkpoint exists for every conditional branch) repairs it.
+        if (inst.isCondBranch()
+            && injector_.shouldInject(FaultSite::BranchPrediction)) {
+            fi.pred.taken = !fi.pred.taken;
+            fi.pred.target = fi.pred.taken ? inst.branchTarget(t.pc)
+                                           : t.pc + 4;
+        }
         t.fq.push_back(fi);
 
         if (fi.pred.taken) {

@@ -198,6 +198,17 @@ DmtEngine::spawnThread(ThreadContext &parent, TBEntry &entry,
                     {c.id, c.gen, r});
             }
         }
+        // Fault injection: corrupt a value-predicted input at spawn.
+        // Speculative-only state — the head-switch final check compares
+        // every input against the architectural registers and files a
+        // recovery walk for any mismatch, so retirement stays golden.
+        // r0 is skipped: it is architecturally hardwired and exempt
+        // from final validation.
+        if (in.valid && r != 0
+            && injector_.shouldInject(FaultSite::SpawnInput)) {
+            in.value =
+                injector_.corruptValue(FaultSite::SpawnInput, in.value);
+        }
         in.valid_at_spawn = in.valid;
     }
 
@@ -269,7 +280,13 @@ DmtEngine::trySpawn(ThreadContext &parent, TBEntry &entry,
         if (same >= cfg.max_same_start)
             return;
     }
-    if (!spawn_pred.selected(start)) {
+    bool selected = spawn_pred.selected(start);
+    // Fault injection: flip the thread-selection decision.  A spurious
+    // spawn is cleaned up by join validation / the thread-misprediction
+    // detector; a suppressed spawn only costs performance.
+    if (injector_.shouldInject(FaultSite::SpawnDecision))
+        selected = !selected;
+    if (!selected) {
         ++stats_.spawns_suppressed;
         return;
     }

@@ -189,6 +189,8 @@ class Lsq
     int storeCount(ThreadId tid) const;
 
   private:
+    friend class InvariantAuditor; // white-box structural audit
+
     static Addr wordOf(Addr a) { return a & ~3u; }
 
     void mapInsert(std::unordered_map<Addr, std::vector<i32>> &m,

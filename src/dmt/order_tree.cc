@@ -162,4 +162,63 @@ OrderTree::size() const
     return static_cast<int>(order().size());
 }
 
+bool
+OrderTree::audit(std::string *why) const
+{
+    auto fail = [why](std::string msg) {
+        if (why)
+            *why = std::move(msg);
+        return false;
+    };
+    auto inRange = [this](ThreadId t) {
+        return t >= 0 && t < max_threads;
+    };
+
+    int n_active = 0;
+    for (u8 a : active)
+        n_active += a ? 1 : 0;
+
+    std::vector<u8> visited(static_cast<size_t>(max_threads), 0);
+    std::vector<ThreadId> stack;
+    for (ThreadId t : top) {
+        if (!inRange(t))
+            return fail("top list holds out-of-range tid "
+                        + std::to_string(t));
+        if (parent[static_cast<size_t>(t)] != kNoThread)
+            return fail("top-level tid " + std::to_string(t)
+                        + " has a parent");
+        stack.push_back(t);
+    }
+    int reached = 0;
+    while (!stack.empty()) {
+        const ThreadId t = stack.back();
+        stack.pop_back();
+        const size_t i = static_cast<size_t>(t);
+        if (!active[i])
+            return fail("inactive tid " + std::to_string(t)
+                        + " linked into the tree");
+        if (visited[i])
+            return fail("tid " + std::to_string(t)
+                        + " reachable twice (cycle or duplicate link)");
+        visited[i] = 1;
+        ++reached;
+        for (ThreadId c : kids[i]) {
+            if (!inRange(c))
+                return fail("kids of " + std::to_string(t)
+                            + " hold out-of-range tid "
+                            + std::to_string(c));
+            if (parent[static_cast<size_t>(c)] != t)
+                return fail("child " + std::to_string(c)
+                            + " does not point back at parent "
+                            + std::to_string(t));
+            stack.push_back(c);
+        }
+    }
+    if (reached != n_active)
+        return fail("tree reaches " + std::to_string(reached)
+                    + " nodes but " + std::to_string(n_active)
+                    + " are active (orphaned thread)");
+    return true;
+}
+
 } // namespace dmt

@@ -12,6 +12,7 @@
 #ifndef DMT_DMT_ORDER_TREE_HH
 #define DMT_DMT_ORDER_TREE_HH
 
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -59,7 +60,20 @@ class OrderTree
 
     int size() const;
 
+    /**
+     * Structural self-check (the invariant auditor's tree leg): every
+     * link bidirectional, no inactive node linked, no node reachable
+     * twice (i.e. no cycles or duplicate links), every active node
+     * reachable from the top list.  Safe to call on a corrupted tree —
+     * it never recurses through the structure.
+     * @return true when consistent, else false with @p why (if given)
+     * describing the first violation found.
+     */
+    bool audit(std::string *why) const;
+
   private:
+    friend class EngineInspector; // white-box corruption for tests
+
     size_t idx(ThreadId tid) const;
     void invalidate() { cache_valid = false; }
     void rebuild() const;

@@ -49,8 +49,10 @@ runWorkload(const SimConfig &cfg, const std::string &workload,
     DmtEngine engine(run_cfg, prog);
     engine.run();
 
+    // Throwing (rather than exiting) lets sweeps over many workloads
+    // and configurations catch one bad run, log it, and keep going.
     if (!engine.goldenOk())
-        fatal("golden mismatch on %s: %s", workload.c_str(),
+        panic("golden mismatch on %s: %s", workload.c_str(),
               engine.goldenError().c_str());
 
     RunResult r;

@@ -1,0 +1,20 @@
+#include "fault/options.hh"
+
+namespace dmt
+{
+
+const char *
+faultSiteName(FaultSite s)
+{
+    switch (s) {
+      case FaultSite::SpawnInput: return "spawn-input";
+      case FaultSite::DataflowValue: return "dataflow-value";
+      case FaultSite::LoadValue: return "load-value";
+      case FaultSite::SpawnDecision: return "spawn-decision";
+      case FaultSite::BranchPrediction: return "branch-prediction";
+      case FaultSite::kCount: break;
+    }
+    return "?";
+}
+
+} // namespace dmt

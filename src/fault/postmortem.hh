@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Crash diagnostics: a machine-readable JSON post-mortem of the engine
+ * (cycle, configuration, per-thread pipeline/trace-buffer/recovery
+ * state, resource accounting, headline stats, and the last-N telemetry
+ * ring events when a ring sink is attached).  Produced on watchdog
+ * expiry and invariant-audit failure, attached to the thrown SimError,
+ * and written to the configured crash file so deadlocks are debuggable
+ * from the artifact instead of a one-line exit message.
+ */
+
+#ifndef DMT_FAULT_POSTMORTEM_HH
+#define DMT_FAULT_POSTMORTEM_HH
+
+#include <string>
+
+namespace dmt
+{
+
+class DmtEngine;
+
+/** White-box engine state snapshotter (friend of DmtEngine). */
+class Postmortem
+{
+  public:
+    /** Render the full post-mortem document. */
+    static std::string json(const DmtEngine &e, const std::string &kind,
+                            const std::string &reason);
+
+    /**
+     * Render the post-mortem and write it to the engine's configured
+     * crash file (cfg.crash_file; empty path skips the file).
+     * @return the JSON document.
+     */
+    static std::string dump(const DmtEngine &e, const std::string &kind,
+                            const std::string &reason);
+};
+
+} // namespace dmt
+
+#endif // DMT_FAULT_POSTMORTEM_HH

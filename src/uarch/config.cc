@@ -48,6 +48,15 @@ SimConfig::validate() const
         fatal("bad trace buffer timing");
     if (lat_alu < 1 || lat_mul < 1 || lat_div < 1 || lat_mem < 1)
         fatal("latencies must be at least 1 cycle");
+    if (audit_period < 0)
+        fatal("audit_period must be >= 0");
+    for (int i = 0; i < kNumFaultSites; ++i) {
+        if (fault.rate[i] < 0.0 || fault.rate[i] > 1.0) {
+            fatal("fault rate for %s out of [0, 1]: %g",
+                  faultSiteName(static_cast<FaultSite>(i)),
+                  fault.rate[i]);
+        }
+    }
 }
 
 SimConfig
@@ -113,6 +122,9 @@ SimConfig::jsonOn(JsonWriter &w) const
     w.key("sq_size").value(sqSize());
     w.key("lat_mem").value(lat_mem);
     w.key("max_retired").value(max_retired);
+    w.key("watchdog_cycles").value(watchdog_cycles);
+    w.key("audit_period").value(audit_period);
+    w.key("fault_enabled").value(fault.enabled);
     w.endObject();
 }
 

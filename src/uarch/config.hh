@@ -12,6 +12,7 @@
 #include <string>
 
 #include "branch/predictor.hh"
+#include "fault/options.hh"
 #include "memory/hierarchy.hh"
 #include "trace/options.hh"
 
@@ -139,6 +140,21 @@ struct SimConfig
     u64 max_cycles = 0;
     /** Verify every retired instruction against the golden model. */
     bool check_golden = true;
+    /** Deadlock watchdog: panic (SimError + post-mortem) when no
+     *  instruction finally retires for this many cycles (0 = off);
+     *  DMT_WATCHDOG overrides at engine construction. */
+    u64 watchdog_cycles = 500000;
+
+    // ---- robustness --------------------------------------------------------
+    /** Run the invariant auditor every this many cycles (0 = off);
+     *  DMT_AUDIT overrides at engine construction. */
+    int audit_period = 0;
+    /** Where watchdog/audit failures write their JSON post-mortem
+     *  (empty = no file); DMT_CRASH_FILE overrides. */
+    std::string crash_file = "dmt_crash.json";
+    /** Fault injection configuration; DMT_FAULT et al. override at
+     *  engine construction (see fault/injector.hh). */
+    FaultOptions fault;
 
     // ---- telemetry ---------------------------------------------------------
     /** Trace subsystem configuration; DMT_TRACE et al. override at

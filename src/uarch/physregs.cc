@@ -45,6 +45,15 @@ PhysRegFile::free(PhysReg p)
     free_list.push_back(p);
 }
 
+int
+PhysRegFile::numAllocated() const
+{
+    int n = 0;
+    for (u8 a : alloc_)
+        n += a ? 1 : 0;
+    return n;
+}
+
 void
 PhysRegFile::write(PhysReg p, u32 v)
 {

@@ -38,6 +38,11 @@ class PhysRegFile
     int numFree() const { return static_cast<int>(free_list.size()); }
     int count() const { return static_cast<int>(values.size()); }
 
+    /** Registers whose allocation bit is set.  Equal to
+     *  count() - numFree() unless the free list and the allocation
+     *  bits have diverged (the leak auditor checks exactly that). */
+    int numAllocated() const;
+
   private:
     size_t check(PhysReg p) const;
 
