@@ -1,9 +1,10 @@
 /**
  * @file
  * Shared plumbing for the figure benches: run the whole suite against
- * a set of machine configurations, tabulate speedups over the baseline
- * superscalar, and optionally archive the full run as a
- * machine-readable BENCH_<tag>.json artifact.
+ * a set of machine configurations through the parallel sweep pool
+ * (DMT_JOBS workers), tabulate speedups over the baseline superscalar,
+ * and optionally archive the full run as a machine-readable
+ * BENCH_<tag>.json artifact.
  */
 
 #ifndef DMT_BENCH_BENCH_COMMON_HH
@@ -22,6 +23,7 @@
 #include "exp/experiments.hh"
 #include "exp/report.hh"
 #include "exp/runner.hh"
+#include "exp/sweep.hh"
 #include "workloads/workloads.hh"
 
 namespace dmt
@@ -42,10 +44,62 @@ benchQuiet()
     return q && *q && *q != '0';
 }
 
+/** The whole suite x a machine list, as cells[workload][machine]. */
+struct SuiteSweep
+{
+    std::vector<std::vector<SweepCell>> cells;
+    SweepStats stats;
+};
+
+/**
+ * Fan every (workload, machine) pair out over the sweep pool and
+ * collect the cells in deterministic grid order — workloads in suite
+ * order, machines in @p machines order — regardless of completion
+ * order.  Failed cells (SimError) come back with ok == false; callers
+ * decide row-skip policy.  Progress goes to stderr in completion order
+ * unless DMT_BENCH_QUIET is set.
+ */
+inline SuiteSweep
+sweepGrid(const std::vector<BenchColumn> &machines)
+{
+    SweepRunner pool;
+    for (const WorkloadInfo &w : workloadSuite())
+        for (const BenchColumn &m : machines)
+            pool.add(m.cfg, w.name, 0,
+                     std::string(w.name) + "/" + m.name);
+
+    SweepRunner::Progress progress;
+    if (!benchQuiet()) {
+        std::fprintf(stderr, "sweep: %zu jobs on %d worker(s)\n",
+                     pool.size(), pool.poolWidth());
+        progress = [](const SweepJob &job, const SweepCell &cell,
+                      size_t done, size_t total) {
+            std::fprintf(stderr, "[%zu/%zu] %s%s\n", done, total,
+                         job.label.c_str(),
+                         cell.ok ? "" : "  FAILED");
+            std::fflush(stderr);
+        };
+    }
+    const std::vector<SweepCell> &flat = pool.run(progress);
+
+    SuiteSweep out;
+    const size_t ncols = machines.size();
+    out.cells.resize(workloadSuite().size());
+    for (size_t wi = 0; wi < out.cells.size(); ++wi) {
+        out.cells[wi].assign(flat.begin()
+                                 + static_cast<long>(wi * ncols),
+                             flat.begin()
+                                 + static_cast<long>((wi + 1) * ncols));
+    }
+    out.stats = pool.stats();
+    return out;
+}
+
 /**
  * Write the complete outcome of a speedupTable() run — the rendered
- * table, every machine configuration, and the full per-workload stat
- * blocks — to BENCH_<tag>.json for downstream plotting/diffing.
+ * table, every machine configuration, the full per-workload stat
+ * blocks, and the sweep's timing/throughput aggregate — to
+ * BENCH_<tag>.json for downstream plotting/diffing.
  */
 inline void
 writeBenchArtifact(const std::string &tag, const Report &rep,
@@ -53,7 +107,8 @@ writeBenchArtifact(const std::string &tag, const Report &rep,
                    const std::vector<BenchColumn> &columns,
                    const std::vector<RunResult> &base_runs,
                    const std::map<std::string,
-                                  std::vector<RunResult>> &results)
+                                  std::vector<RunResult>> &results,
+                   const SweepStats *sweep = nullptr)
 {
     JsonWriter w;
     w.beginObject();
@@ -82,6 +137,10 @@ writeBenchArtifact(const std::string &tag, const Report &rep,
         w.endObject();
     }
     w.endArray();
+    if (sweep) {
+        w.key("sweep");
+        sweep->jsonOn(w);
+    }
     w.endObject();
 
     const std::string path = "BENCH_" + tag + ".json";
@@ -99,10 +158,12 @@ writeBenchArtifact(const std::string &tag, const Report &rep,
 
 /**
  * Run every suite workload on the baseline and on each column's
- * machine; fill @p rep with percentage speedups and an average row.
- * When @p artifact is non-empty the full results are archived to
- * BENCH_<artifact>.json.  Per-workload progress goes to stderr unless
- * DMT_BENCH_QUIET is set.
+ * machine — all through the sweep pool — and fill @p rep with
+ * percentage speedups and an average row.  The table is byte-identical
+ * for any pool width: rows keep suite order, and a workload whose
+ * baseline or any column run failed (SimError) is skipped with a
+ * warning, exactly like the serial path did.  When @p artifact is
+ * non-empty the full results are archived to BENCH_<artifact>.json.
  * Returns the per-column, per-workload results for follow-up printing.
  */
 inline std::map<std::string, std::vector<RunResult>>
@@ -115,56 +176,59 @@ speedupTable(Report &rep, const std::vector<BenchColumn> &columns,
         headers.push_back(c.name);
     rep.columns(headers);
 
-    const bool quiet = benchQuiet();
-    const size_t total = workloadSuite().size();
-    size_t done = 0;
+    std::vector<BenchColumn> machines;
+    machines.push_back({"base", base_cfg});
+    machines.insert(machines.end(), columns.begin(), columns.end());
+    const SuiteSweep sweep = sweepGrid(machines);
 
     std::map<std::string, std::vector<RunResult>> results;
     std::vector<RunResult> base_runs;
-    for (const WorkloadInfo &w : workloadSuite()) {
-        ++done;
-        if (!quiet) {
-            std::fprintf(stderr, "[%zu/%zu] %s (%zu machines)\n", done,
-                         total, w.name, columns.size() + 1);
-            std::fflush(stderr);
-        }
-        // A wedged or miscomputing run (SimError) drops this workload
-        // from the table with a warning instead of killing the sweep.
-        RunResult base;
-        try {
-            base = runWorkload(base_cfg, w.name);
-        } catch (const SimError &err) {
-            warn("bench: skipping %s (baseline failed: %s)", w.name,
-                 err.what());
+    const auto &suite = workloadSuite();
+    for (size_t wi = 0; wi < suite.size(); ++wi) {
+        const char *wname = suite[wi].name;
+        const std::vector<SweepCell> &row_cells = sweep.cells[wi];
+        if (!row_cells[0].ok) {
+            warn("bench: skipping %s (baseline failed: %s)", wname,
+                 row_cells[0].error.c_str());
             continue;
         }
-        std::vector<double> row;
-        std::vector<RunResult> col_runs;
         bool row_ok = true;
-        for (const auto &c : columns) {
-            try {
-                const RunResult r = runWorkload(c.cfg, w.name);
-                row.push_back(speedupPct(base, r));
-                col_runs.push_back(r);
-            } catch (const SimError &err) {
-                warn("bench: skipping %s (%s failed: %s)", w.name,
-                     c.name.c_str(), err.what());
+        for (size_t ci = 0; ci < columns.size(); ++ci) {
+            if (!row_cells[ci + 1].ok) {
+                warn("bench: skipping %s (%s failed: %s)", wname,
+                     columns[ci].name.c_str(),
+                     row_cells[ci + 1].error.c_str());
                 row_ok = false;
                 break;
             }
         }
         if (!row_ok)
             continue;
-        for (size_t i = 0; i < columns.size(); ++i)
-            results[columns[i].name].push_back(col_runs[i]);
+        const RunResult &base = row_cells[0].result;
+        std::vector<double> row;
+        for (size_t ci = 0; ci < columns.size(); ++ci) {
+            const RunResult &r = row_cells[ci + 1].result;
+            row.push_back(speedupPct(base, r));
+            results[columns[ci].name].push_back(r);
+        }
         base_runs.push_back(base);
-        rep.row(w.name, row);
+        rep.row(wname, row);
     }
     rep.averageRow();
 
+    if (!benchQuiet()) {
+        std::fprintf(stderr,
+                     "sweep: %llu jobs, %.1fs wall, %.1fs busy "
+                     "(%.2fx), %.2f Minstr/s\n",
+                     static_cast<unsigned long long>(
+                         sweep.stats.jobs_total),
+                     sweep.stats.wall_seconds, sweep.stats.busy_seconds,
+                     sweep.stats.parallelism(),
+                     sweep.stats.throughput() / 1e6);
+    }
     if (!artifact.empty()) {
         writeBenchArtifact(artifact, rep, base_cfg, columns, base_runs,
-                           results);
+                           results, &sweep.stats);
     }
     return results;
 }

@@ -22,25 +22,34 @@ benchMain()
                                      "6T-real", "6T-ideal"};
     rep.columns(headers);
 
-    for (const WorkloadInfo &w : workloadSuite()) {
-        const RunResult base_real =
-            runWorkload(exp::baseline(true), w.name);
-        const RunResult base_ideal =
-            runWorkload(exp::baseline(false), w.name);
-        std::vector<double> row;
-        for (int threads : {4, 6}) {
-            const RunResult real =
-                runWorkload(exp::fig6Dmt(threads, true), w.name);
-            const RunResult ideal =
-                runWorkload(exp::fig6Dmt(threads, false), w.name);
-            row.push_back(speedupPct(base_real, real));
-            row.push_back(speedupPct(base_ideal, ideal));
+    const std::vector<BenchColumn> machines = {
+        {"base-real", exp::baseline(true)},
+        {"base-ideal", exp::baseline(false)},
+        {"4T-real", exp::fig6Dmt(4, true)},
+        {"4T-ideal", exp::fig6Dmt(4, false)},
+        {"6T-real", exp::fig6Dmt(6, true)},
+        {"6T-ideal", exp::fig6Dmt(6, false)},
+    };
+    const SuiteSweep sweep = sweepGrid(machines);
+
+    const auto &suite = workloadSuite();
+    for (size_t wi = 0; wi < suite.size(); ++wi) {
+        const std::vector<SweepCell> &cells = sweep.cells[wi];
+        bool all_ok = true;
+        for (const SweepCell &c : cells)
+            all_ok = all_ok && c.ok;
+        if (!all_ok) {
+            warn("bench: skipping %s (a run failed)", suite[wi].name);
+            continue;
         }
-        rep.row(w.name, row);
-        std::fprintf(stderr, ".");
-        std::fflush(stderr);
+        const RunResult &base_real = cells[0].result;
+        const RunResult &base_ideal = cells[1].result;
+        rep.row(suite[wi].name,
+                {speedupPct(base_real, cells[2].result),
+                 speedupPct(base_ideal, cells[3].result),
+                 speedupPct(base_real, cells[4].result),
+                 speedupPct(base_ideal, cells[5].result)});
     }
-    std::fprintf(stderr, "\n");
     rep.averageRow();
     rep.print();
     return 0;

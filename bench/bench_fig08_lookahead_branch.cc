@@ -20,22 +20,27 @@ benchMain()
         "baseline superscalar");
     rep.columns({"workload", "fetch%", "exec%", "base-fetch%"});
 
-    for (const WorkloadInfo &w : workloadSuite()) {
-        const RunResult r = runWorkload(exp::fig89Dmt(), w.name);
-        const RunResult base = runWorkload(exp::baseline(), w.name);
+    const SuiteSweep sweep = sweepGrid({{"6T", exp::fig89Dmt()},
+                                        {"base", exp::baseline()}});
+    const auto &suite = workloadSuite();
+    for (size_t wi = 0; wi < suite.size(); ++wi) {
+        const std::vector<SweepCell> &cells = sweep.cells[wi];
+        if (!cells[0].ok || !cells[1].ok) {
+            warn("bench: skipping %s (a run failed)", suite[wi].name);
+            continue;
+        }
+        const RunResult &r = cells[0].result;
+        const RunResult &base = cells[1].result;
         const double retired =
             static_cast<double>(r.stats.retired.value());
-        rep.row(w.name,
+        rep.row(suite[wi].name,
                 {100.0 * r.stats.la_fetch_beyond_mispredict.value()
                      / retired,
                  100.0 * r.stats.la_exec_beyond_mispredict.value()
                      / retired,
                  100.0 * base.stats.la_fetch_beyond_mispredict.value()
                      / static_cast<double>(base.stats.retired.value())});
-        std::fprintf(stderr, ".");
-        std::fflush(stderr);
     }
-    std::fprintf(stderr, "\n");
     rep.averageRow();
     rep.print();
     return 0;

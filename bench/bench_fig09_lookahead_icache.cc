@@ -23,17 +23,30 @@ benchMain()
     rep.columns({"workload", "16K-fetch%", "16K-exec%", "512B-fetch%",
                  "512B-exec%"});
 
-    for (const WorkloadInfo &w : workloadSuite()) {
+    std::vector<BenchColumn> machines;
+    for (const u32 l1i_bytes : {16u * 1024, 512u}) {
+        SimConfig cfg = exp::fig89Dmt();
+        cfg.mem.l1i.size_bytes = l1i_bytes;
+        if (l1i_bytes < 1024) {
+            // Pressure variant: misses go all the way to memory,
+            // like SPEC-sized code in a 16KB L1I + 256KB L2.
+            cfg.mem.l2.size_bytes = 4 * 1024;
+        }
+        machines.push_back(
+            {l1i_bytes >= 1024 ? "16K" : "512B", cfg});
+    }
+    const SuiteSweep sweep = sweepGrid(machines);
+
+    const auto &suite = workloadSuite();
+    for (size_t wi = 0; wi < suite.size(); ++wi) {
+        const std::vector<SweepCell> &cells = sweep.cells[wi];
+        if (!cells[0].ok || !cells[1].ok) {
+            warn("bench: skipping %s (a run failed)", suite[wi].name);
+            continue;
+        }
         std::vector<double> row;
-        for (const u32 l1i_bytes : {16u * 1024, 512u}) {
-            SimConfig cfg = exp::fig89Dmt();
-            cfg.mem.l1i.size_bytes = l1i_bytes;
-            if (l1i_bytes < 1024) {
-                // Pressure variant: misses go all the way to memory,
-                // like SPEC-sized code in a 16KB L1I + 256KB L2.
-                cfg.mem.l2.size_bytes = 4 * 1024;
-            }
-            const RunResult r = runWorkload(cfg, w.name);
+        for (const SweepCell &cell : cells) {
+            const RunResult &r = cell.result;
             const double retired =
                 static_cast<double>(r.stats.retired.value());
             row.push_back(100.0
@@ -42,11 +55,8 @@ benchMain()
             row.push_back(100.0 * r.stats.la_exec_beyond_imiss.value()
                           / retired);
         }
-        rep.row(w.name, row);
-        std::fprintf(stderr, ".");
-        std::fflush(stderr);
+        rep.row(suite[wi].name, row);
     }
-    std::fprintf(stderr, "\n");
     rep.averageRow();
     rep.print();
     return 0;

@@ -22,19 +22,24 @@ benchMain()
     rep.columns({"workload", "at-spawn%", "same-later%", "dataflow%",
                  "hit%"});
 
-    for (const WorkloadInfo &w : workloadSuite()) {
-        const RunResult r = runWorkload(exp::fig11Dmt(), w.name);
+    const SuiteSweep sweep = sweepGrid({{"4T", exp::fig11Dmt()}});
+    const auto &suite = workloadSuite();
+    for (size_t wi = 0; wi < suite.size(); ++wi) {
+        const SweepCell &cell = sweep.cells[wi][0];
+        if (!cell.ok) {
+            warn("bench: skipping %s (%s)", suite[wi].name,
+                 cell.error.c_str());
+            continue;
+        }
+        const RunResult &r = cell.result;
         const double used =
             std::max<u64>(r.stats.inputs_used.value(), 1);
-        rep.row(w.name,
+        rep.row(suite[wi].name,
                 {100.0 * r.stats.inputs_valid_at_spawn.value() / used,
                  100.0 * r.stats.inputs_same_later.value() / used,
                  100.0 * r.stats.inputs_df_correct.value() / used,
                  100.0 * r.stats.inputs_hit.value() / used});
-        std::fprintf(stderr, ".");
-        std::fflush(stderr);
     }
-    std::fprintf(stderr, "\n");
     rep.averageRow();
     rep.print();
     return 0;

@@ -20,22 +20,26 @@ benchMain()
     rep.columns({"workload", "thr-size", "overlap%", "contexts",
                  "join%", "redispatch%"});
 
-    for (const WorkloadInfo &w : workloadSuite()) {
-        const RunResult r = runWorkload(exp::fig89Dmt(), w.name);
-        const DmtStats &s = r.stats;
+    const SuiteSweep sweep = sweepGrid({{"6T", exp::fig89Dmt()}});
+    const auto &suite = workloadSuite();
+    for (size_t wi = 0; wi < suite.size(); ++wi) {
+        const SweepCell &cell = sweep.cells[wi][0];
+        if (!cell.ok) {
+            warn("bench: skipping %s (%s)", suite[wi].name,
+                 cell.error.c_str());
+            continue;
+        }
+        const DmtStats &s = cell.result.stats;
         const double spawned =
             std::max<u64>(s.threads_spawned.value(), 1);
-        rep.row(w.name,
+        rep.row(suite[wi].name,
                 {s.thread_size.mean(),
                  100.0 * s.thread_overlap.mean(),
                  s.active_threads.mean(),
                  100.0 * s.threads_joined.value() / spawned,
                  100.0 * s.recovery_dispatches.value()
                      / std::max<u64>(s.retired.value(), 1)});
-        std::fprintf(stderr, ".");
-        std::fflush(stderr);
     }
-    std::fprintf(stderr, "\n");
     rep.averageRow();
     rep.print();
     return 0;

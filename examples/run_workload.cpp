@@ -7,6 +7,10 @@
  *
  *     run_workload [workload] [threads] [ports] [max_retired]
  *     run_workload gcc 6 2 100000
+ *
+ * `run_workload all ...` sweeps the entire suite through the parallel
+ * scheduler (DMT_JOBS workers) and prints one summary line per
+ * workload plus the sweep's throughput accounting.
  */
 
 #include <cstdio>
@@ -16,6 +20,7 @@
 #include "common/log.hh"
 #include "common/stats.hh"
 #include "dmt/engine.hh"
+#include "exp/sweep.hh"
 #include "workloads/workloads.hh"
 
 int
@@ -41,6 +46,39 @@ main(int argc, char **argv)
         threads > 1 ? SimConfig::dmt(threads, ports)
                     : SimConfig::baseline();
     cfg.max_retired = budget;
+
+    if (name == "all") {
+        SweepRunner pool;
+        for (const WorkloadInfo &w : workloadSuite())
+            pool.add(cfg, w.name, budget);
+        std::printf("sweeping %zu workloads on %s (%d worker(s))\n",
+                    pool.size(), cfg.summary().c_str(),
+                    pool.poolWidth());
+        const auto &cells = pool.run();
+        const auto &suite = workloadSuite();
+        bool all_ok = true;
+        for (size_t i = 0; i < cells.size(); ++i) {
+            if (!cells[i].ok) {
+                std::printf("  %-10s FAILED: %s\n", suite[i].name,
+                            cells[i].error.c_str());
+                all_ok = false;
+                continue;
+            }
+            const RunResult &r = cells[i].result;
+            std::printf("  %-10s %10llu cycles %10llu retired "
+                        "ipc %.3f\n",
+                        suite[i].name,
+                        static_cast<unsigned long long>(r.cycles),
+                        static_cast<unsigned long long>(r.retired),
+                        r.ipc);
+        }
+        const SweepStats &st = pool.stats();
+        std::printf("sweep: %.2fs wall, %.2fs busy (%.2fx), "
+                    "%.2f Minstr/s\n",
+                    st.wall_seconds, st.busy_seconds,
+                    st.parallelism(), st.throughput() / 1e6);
+        return all_ok ? 0 : 1;
+    }
 
     std::printf("running %s on %s ...\n", name.c_str(),
                 cfg.summary().c_str());

@@ -1,5 +1,6 @@
 #include "common/log.hh"
 
+#include <atomic>
 #include <cstdio>
 
 namespace dmt
@@ -8,7 +9,9 @@ namespace dmt
 namespace
 {
 
-bool quietFlag = false;
+// Read from sweep worker threads; atomic so a harness toggling
+// quietness while a pool is running stays well-defined.
+std::atomic<bool> quietFlag{false};
 
 void
 vreport(const char *tag, const char *fmt, va_list ap)

@@ -1,7 +1,9 @@
 #include "dmt/engine.hh"
 
 #include <algorithm>
+#include <cstdint>
 
+#include "common/env.hh"
 #include "common/strutil.hh"
 #include "fault/auditor.hh"
 #include "fault/postmortem.hh"
@@ -27,10 +29,10 @@ DmtEngine::DmtEngine(const SimConfig &cfg_, const Program &prog_)
     cfg.validate();
     if (const char *dbg = std::getenv("DMT_DEBUG"))
         debug_trace = dbg[0] != '0';
-    if (const char *wd = std::getenv("DMT_WATCHDOG"); wd && *wd)
-        cfg.watchdog_cycles = std::strtoull(wd, nullptr, 10);
-    if (const char *ap = std::getenv("DMT_AUDIT"); ap && *ap)
-        cfg.audit_period = std::max(0, std::atoi(ap));
+    cfg.watchdog_cycles = parseEnvU64("DMT_WATCHDOG", cfg.watchdog_cycles);
+    cfg.audit_period = static_cast<int>(
+        parseEnvU64("DMT_AUDIT", static_cast<u64>(cfg.audit_period), 0,
+                    static_cast<u64>(INT32_MAX)));
     if (const char *crash = std::getenv("DMT_CRASH_FILE"))
         cfg.crash_file = crash;
     tracer_.configure(traceOptionsFromEnv(cfg.trace));

@@ -1,7 +1,6 @@
 #include "exp/runner.hh"
 
-#include <cstdlib>
-
+#include "common/env.hh"
 #include "common/json.hh"
 #include "common/log.hh"
 #include "dmt/engine.hh"
@@ -26,15 +25,20 @@ RunResult::jsonOn(JsonWriter &w) const
     w.endObject();
 }
 
+std::string
+RunResult::jsonString() const
+{
+    JsonWriter w;
+    jsonOn(w);
+    return w.str();
+}
+
 u64
 benchRunLength()
 {
-    if (const char *env = std::getenv("DMT_BENCH_INSTR")) {
-        const u64 v = std::strtoull(env, nullptr, 10);
-        if (v > 0)
-            return v;
-    }
-    return 60000;
+    // 0 (like unset) selects the default length.
+    const u64 v = parseEnvU64("DMT_BENCH_INSTR", 0);
+    return v > 0 ? v : 60000;
 }
 
 RunResult

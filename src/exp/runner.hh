@@ -31,6 +31,10 @@ struct RunResult
 
     /** Serialize (headline numbers plus the full stat block). */
     void jsonOn(JsonWriter &w) const;
+
+    /** The jsonOn() document as a string — the canonical form for
+     *  bit-identity comparisons between serial and pooled runs. */
+    std::string jsonString() const;
 };
 
 /**

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/env.hh"
 #include "common/log.hh"
 
 namespace dmt
@@ -72,9 +73,7 @@ FaultOptions
 faultOptionsFromEnv(FaultOptions base)
 {
     const char *spec = std::getenv("DMT_FAULT");
-    double env_rate = 0.01;
-    if (const char *r = std::getenv("DMT_FAULT_RATE"); r && *r)
-        env_rate = std::atof(r);
+    const double env_rate = parseEnvF64("DMT_FAULT_RATE", 0.01, 0.0, 1.0);
 
     if (spec && *spec) {
         std::string s(spec);
@@ -113,8 +112,7 @@ faultOptionsFromEnv(FaultOptions base)
         }
     }
 
-    if (const char *seed = std::getenv("DMT_FAULT_SEED"); seed && *seed)
-        base.seed = std::strtoull(seed, nullptr, 10);
+    base.seed = parseEnvU64("DMT_FAULT_SEED", base.seed);
     return base;
 }
 

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/env.hh"
 #include "common/log.hh"
 #include "trace/chrome_sink.hh"
 #include "trace/counters_sink.hh"
@@ -119,14 +120,15 @@ traceOptionsFromEnv(TraceOptions base)
         file && *file) {
         base.counters_file = file;
     }
-    if (const char *period = std::getenv("DMT_TRACE_SAMPLE");
-        period && *period) {
-        base.sample_period = std::atoi(period);
-    }
-    if (const char *cap = std::getenv("DMT_TRACE_RING"); cap && *cap) {
-        base.ring_capacity = std::atoi(cap);
-        if (base.ring_capacity > 0)
-            base.ring = true;
+    base.sample_period = static_cast<int>(
+        parseEnvU64("DMT_TRACE_SAMPLE",
+                    static_cast<u64>(base.sample_period), 1, 1u << 30));
+    const u64 cap = parseEnvU64(
+        "DMT_TRACE_RING", static_cast<u64>(base.ring_capacity), 1,
+        1u << 30);
+    if (cap != static_cast<u64>(base.ring_capacity)) {
+        base.ring_capacity = static_cast<int>(cap);
+        base.ring = true;
     }
     return base;
 }

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Checked environment-knob parsing: the strict numeric parsers behind
+ * every DMT_* knob must reject trailing garbage and overflow instead
+ * of silently truncating (the old strtoull/atoi behaviour), and the
+ * env readers must fatal() on malformed values rather than quietly
+ * measuring the wrong configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/env.hh"
+#include "exp/runner.hh"
+
+namespace dmt
+{
+namespace
+{
+
+TEST(ParseU64, AcceptsPlainDecimal)
+{
+    u64 v = 0;
+    EXPECT_TRUE(parseU64("0", &v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(parseU64("60000", &v));
+    EXPECT_EQ(v, 60000u);
+    EXPECT_TRUE(parseU64("18446744073709551615", &v));
+    EXPECT_EQ(v, ~u64{0});
+    EXPECT_TRUE(parseU64("  42  ", &v)) << "surrounding whitespace ok";
+    EXPECT_EQ(v, 42u);
+}
+
+TEST(ParseU64, RejectsTrailingGarbage)
+{
+    u64 v = 0;
+    EXPECT_FALSE(parseU64("60k", &v));
+    EXPECT_FALSE(parseU64("60 000", &v));
+    EXPECT_FALSE(parseU64("1e6", &v));
+    EXPECT_FALSE(parseU64("0x10", &v));
+    EXPECT_FALSE(parseU64("12.5", &v));
+    EXPECT_FALSE(parseU64("", &v));
+    EXPECT_FALSE(parseU64("   ", &v));
+    EXPECT_FALSE(parseU64("abc", &v));
+}
+
+TEST(ParseU64, RejectsSignAndOverflow)
+{
+    u64 v = 0;
+    EXPECT_FALSE(parseU64("-1", &v));
+    EXPECT_FALSE(parseU64("+1", &v));
+    // One past 2^64 - 1.
+    EXPECT_FALSE(parseU64("18446744073709551616", &v));
+    EXPECT_FALSE(parseU64("99999999999999999999999", &v));
+}
+
+TEST(ParseF64, AcceptsAndRejects)
+{
+    double v = 0.0;
+    EXPECT_TRUE(parseF64("0.01", &v));
+    EXPECT_DOUBLE_EQ(v, 0.01);
+    EXPECT_TRUE(parseF64("1e-3", &v));
+    EXPECT_DOUBLE_EQ(v, 1e-3);
+    EXPECT_TRUE(parseF64(" 2.5 ", &v));
+    EXPECT_FALSE(parseF64("0.01x", &v));
+    EXPECT_FALSE(parseF64("", &v));
+    EXPECT_FALSE(parseF64("nan", &v)) << "must stay finite";
+    EXPECT_FALSE(parseF64("inf", &v));
+    EXPECT_FALSE(parseF64("1e999", &v)) << "overflows to inf";
+}
+
+TEST(ParseEnv, UnsetAndEmptyYieldDefault)
+{
+    unsetenv("DMT_TEST_KNOB");
+    EXPECT_EQ(parseEnvU64("DMT_TEST_KNOB", 123), 123u);
+    setenv("DMT_TEST_KNOB", "", 1);
+    EXPECT_EQ(parseEnvU64("DMT_TEST_KNOB", 123), 123u);
+    EXPECT_DOUBLE_EQ(parseEnvF64("DMT_TEST_KNOB", 0.5, 0.0, 1.0), 0.5);
+    unsetenv("DMT_TEST_KNOB");
+}
+
+TEST(ParseEnv, ReadsValidValues)
+{
+    setenv("DMT_TEST_KNOB", "777", 1);
+    EXPECT_EQ(parseEnvU64("DMT_TEST_KNOB", 1), 777u);
+    setenv("DMT_TEST_KNOB", "0.25", 1);
+    EXPECT_DOUBLE_EQ(parseEnvF64("DMT_TEST_KNOB", 0.0, 0.0, 1.0), 0.25);
+    unsetenv("DMT_TEST_KNOB");
+}
+
+using ParseEnvDeath = ::testing::Test;
+
+TEST(ParseEnvDeath, GarbageIsFatal)
+{
+    setenv("DMT_TEST_KNOB", "60k", 1);
+    EXPECT_DEATH(parseEnvU64("DMT_TEST_KNOB", 1),
+                 "not a valid unsigned integer");
+    unsetenv("DMT_TEST_KNOB");
+}
+
+TEST(ParseEnvDeath, OverflowIsFatal)
+{
+    setenv("DMT_TEST_KNOB", "18446744073709551616", 1);
+    EXPECT_DEATH(parseEnvU64("DMT_TEST_KNOB", 1),
+                 "not a valid unsigned integer");
+    unsetenv("DMT_TEST_KNOB");
+}
+
+TEST(ParseEnvDeath, RangeIsEnforced)
+{
+    setenv("DMT_TEST_KNOB", "2000", 1);
+    EXPECT_DEATH(parseEnvU64("DMT_TEST_KNOB", 1, 1, 1024),
+                 "out of range");
+    setenv("DMT_TEST_KNOB", "1.5", 1);
+    EXPECT_DEATH(parseEnvF64("DMT_TEST_KNOB", 0.0, 0.0, 1.0),
+                 "out of range");
+    unsetenv("DMT_TEST_KNOB");
+}
+
+TEST(BenchRunLength, ChecksItsKnob)
+{
+    setenv("DMT_BENCH_INSTR", "2000", 1);
+    EXPECT_EQ(benchRunLength(), 2000u);
+    setenv("DMT_BENCH_INSTR", "0", 1);
+    EXPECT_EQ(benchRunLength(), 60000u) << "0 selects the default";
+    unsetenv("DMT_BENCH_INSTR");
+    EXPECT_EQ(benchRunLength(), 60000u);
+}
+
+TEST(BenchRunLengthDeath, TrailingGarbageIsFatal)
+{
+    setenv("DMT_BENCH_INSTR", "60000x", 1);
+    EXPECT_DEATH(benchRunLength(), "DMT_BENCH_INSTR");
+    unsetenv("DMT_BENCH_INSTR");
+}
+
+} // namespace
+} // namespace dmt
