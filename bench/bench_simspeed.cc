@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Host simulator throughput (Minstr/s), not simulated IPC: how many
+ * simulated instructions per wall-clock second the engine retires on
+ * each machine configuration across the whole workload suite.  This is
+ * the harness behind any claimed simulator-speed optimization — run it
+ * before and after, compare the dmt6 aggregate, and archive the result
+ * as BENCH_simspeed.json (see DESIGN.md section 11).
+ *
+ * Runs are serial (pool width 1) so per-workload wall clocks are not
+ * polluted by sibling jobs; each machine's suite sweep is repeated
+ * DMT_SIMSPEED_REPS times (default 3) and the best repetition is
+ * reported, which filters transient host noise the way best-of-N
+ * microbenchmarks do.  DMT_BENCH_INSTR scales the run length.
+ */
+
+#include "bench_common.hh"
+
+#include "common/env.hh"
+
+namespace
+{
+
+struct MachineSpeed
+{
+    std::string name;
+    dmt::SimConfig cfg;
+    double minstr_per_s = 0.0; ///< best-rep suite aggregate
+    double wall_s = 0.0;       ///< wall clock of the best rep
+    dmt::u64 retired = 0;      ///< suite retirements in one rep
+    std::vector<dmt::SweepCell> cells; ///< best rep, suite order
+};
+
+/** One serial pass of the whole suite on @p cfg. */
+dmt::SweepStats
+sweepOnce(const dmt::SimConfig &cfg, std::vector<dmt::SweepCell> *cells)
+{
+    using namespace dmt;
+    SweepRunner pool(1);
+    for (const WorkloadInfo &w : workloadSuite())
+        pool.add(cfg, w.name, 0, w.name);
+    *cells = pool.run();
+    for (const SweepCell &cell : *cells) {
+        if (!cell.ok)
+            panic("simspeed: %s", cell.error.c_str());
+    }
+    return pool.stats();
+}
+
+} // namespace
+
+int
+benchMain()
+{
+    using namespace dmt;
+
+    const u64 reps =
+        std::max<u64>(1, parseEnvU64("DMT_SIMSPEED_REPS", 3));
+    const u64 budget = benchRunLength();
+
+    std::vector<MachineSpeed> machines(2);
+    machines[0].name = "baseline";
+    machines[0].cfg = exp::baseline();
+    machines[1].name = "dmt6";
+    machines[1].cfg = SimConfig::dmt(6, 2);
+
+    for (MachineSpeed &m : machines) {
+        for (u64 rep = 0; rep < reps; ++rep) {
+            std::vector<SweepCell> cells;
+            const SweepStats stats = sweepOnce(m.cfg, &cells);
+            const double mips = stats.throughput() / 1e6;
+            if (!benchQuiet()) {
+                std::fprintf(stderr,
+                             "simspeed: %s rep %llu/%llu: %.3f "
+                             "Minstr/s (%.2fs wall)\n",
+                             m.name.c_str(),
+                             static_cast<unsigned long long>(rep + 1),
+                             static_cast<unsigned long long>(reps),
+                             mips, stats.wall_seconds);
+            }
+            if (mips > m.minstr_per_s) {
+                m.minstr_per_s = mips;
+                m.wall_s = stats.wall_seconds;
+                m.retired = stats.retired_total;
+                m.cells = std::move(cells);
+            }
+        }
+    }
+
+    // Aggregate over machines: total simulated work over total time,
+    // each machine contributing its best rep.
+    double total_wall = 0.0;
+    u64 total_retired = 0;
+    for (const MachineSpeed &m : machines) {
+        total_wall += m.wall_s;
+        total_retired += m.retired;
+    }
+    const double aggregate =
+        total_wall > 0.0 ? total_retired / total_wall / 1e6 : 0.0;
+
+    std::printf("simulator throughput, best of %llu rep(s), "
+                "%llu instr/run\n",
+                static_cast<unsigned long long>(reps),
+                static_cast<unsigned long long>(budget));
+    std::printf("%-10s %12s %10s %12s\n", "machine", "Minstr/s",
+                "wall_s", "retired");
+    for (const MachineSpeed &m : machines) {
+        std::printf("%-10s %12.3f %10.2f %12llu\n", m.name.c_str(),
+                    m.minstr_per_s, m.wall_s,
+                    static_cast<unsigned long long>(m.retired));
+    }
+    std::printf("%-10s %12.3f %10.2f %12llu\n", "aggregate", aggregate,
+                total_wall,
+                static_cast<unsigned long long>(total_retired));
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("artifact").value(std::string_view("simspeed"));
+    w.key("instr_per_run").value(budget);
+    w.key("reps").value(reps);
+    w.key("aggregate_minstr_per_s").value(aggregate);
+    w.key("machines").beginArray();
+    for (const MachineSpeed &m : machines) {
+        w.beginObject();
+        w.key("name").value(std::string_view(m.name));
+        w.key("minstr_per_s").value(m.minstr_per_s);
+        w.key("wall_s").value(m.wall_s);
+        w.key("retired").value(m.retired);
+        w.key("config");
+        m.cfg.jsonOn(w);
+        w.key("workloads").beginArray();
+        const auto &suite = workloadSuite();
+        for (size_t wi = 0; wi < m.cells.size(); ++wi) {
+            const SweepCell &cell = m.cells[wi];
+            w.beginObject();
+            w.key("workload").value(std::string_view(suite[wi].name));
+            w.key("retired").value(cell.result.retired);
+            w.key("wall_s").value(cell.wall_seconds);
+            w.key("minstr_per_s")
+                .value(cell.wall_seconds > 0.0
+                           ? cell.result.retired / cell.wall_seconds
+                                 / 1e6
+                           : 0.0);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    const std::string path = "BENCH_simspeed.json";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot write bench artifact %s", path.c_str());
+        return 1;
+    }
+    const std::string doc = w.str() + "\n";
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    if (!benchQuiet())
+        std::fprintf(stderr, "wrote %s\n", path.c_str());
+    return 0;
+}

@@ -66,11 +66,11 @@ main(int argc, char **argv)
             }
             const RunResult &r = cells[i].result;
             std::printf("  %-10s %10llu cycles %10llu retired "
-                        "ipc %.3f\n",
+                        "ipc %.3f  %6.3fs %6.3f Minstr/s\n",
                         suite[i].name,
                         static_cast<unsigned long long>(r.cycles),
                         static_cast<unsigned long long>(r.retired),
-                        r.ipc);
+                        r.ipc, r.wall_s, r.minstr_per_s);
         }
         const SweepStats &st = pool.stats();
         std::printf("sweep: %.2fs wall, %.2fs busy (%.2fx), "

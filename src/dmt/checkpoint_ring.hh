@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Branch-checkpoint storage indexed by trace-buffer id.  Checkpoints
+ * were a std::map<u64, BranchCheckpoint>, which costs a node
+ * allocation per mispredictable branch — one of the hottest allocation
+ * sites in the engine.  Three properties make a flat ring exact:
+ *
+ *  - ids are created strictly increasing (dispatch order), and an
+ *    intra-thread squash erases every checkpoint >= the squash point
+ *    before any trace-buffer id is reused, so the ring stays sorted;
+ *  - erasure happens only at the ends (retirement from the front,
+ *    squash from the back) or by tombstoning a resolved branch in the
+ *    middle;
+ *  - lookup is by exact id, served by binary search over the sorted
+ *    ring (live and tombstoned slots alike keep their ids).
+ *
+ * Slots are recycled, so once the ring has grown to the thread's
+ * checkpoint high-water mark no further allocation happens.  The
+ * payload type must be flat (assignment must not allocate).
+ */
+
+#ifndef DMT_DMT_CHECKPOINT_RING_HH
+#define DMT_DMT_CHECKPOINT_RING_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace dmt
+{
+
+template <typename T>
+class CheckpointRing
+{
+  public:
+    /** Live checkpoints (tombstones excluded). */
+    size_t size() const { return live_; }
+    bool empty() const { return live_ == 0; }
+
+    /**
+     * Insert a checkpoint for @p id and return its payload slot for
+     * the caller to fill.  @p id must exceed every id in the ring.
+     */
+    T &
+    emplace(u64 id)
+    {
+        DMT_ASSERT(count_ == 0 || id > slot(count_ - 1).id,
+                   "checkpoint ids must be inserted in order");
+        if (count_ == ring_.size())
+            grow();
+        Slot &s = slot(count_);
+        s.id = id;
+        s.live = true;
+        ++count_;
+        ++live_;
+        return s.payload;
+    }
+
+    /** Payload for @p id, or nullptr if absent / already erased. */
+    T *
+    find(u64 id)
+    {
+        const size_t i = lowerBound(id);
+        if (i == count_ || slot(i).id != id || !slot(i).live)
+            return nullptr;
+        return &slot(i).payload;
+    }
+
+    /** Erase @p id if present (absent is fine, matching map::erase). */
+    void
+    erase(u64 id)
+    {
+        const size_t i = lowerBound(id);
+        if (i == count_ || slot(i).id != id || !slot(i).live)
+            return;
+        slot(i).live = false;
+        --live_;
+        trimEnds();
+    }
+
+    /** Erase every checkpoint with id >= @p from_id (branch squash). */
+    void
+    eraseFrom(u64 from_id)
+    {
+        while (count_ > 0 && slot(count_ - 1).id >= from_id) {
+            if (slot(count_ - 1).live)
+                --live_;
+            --count_;
+        }
+        trimEnds();
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        count_ = 0;
+        live_ = 0;
+    }
+
+  private:
+    struct Slot
+    {
+        u64 id = 0;
+        bool live = false;
+        T payload;
+    };
+
+    Slot &
+    slot(size_t i)
+    {
+        return ring_[(head_ + i) & (ring_.size() - 1)];
+    }
+    const Slot &
+    slot(size_t i) const
+    {
+        return ring_[(head_ + i) & (ring_.size() - 1)];
+    }
+
+    /** First position whose id is >= @p id (ids are sorted). */
+    size_t
+    lowerBound(u64 id) const
+    {
+        size_t lo = 0, hi = count_;
+        while (lo < hi) {
+            const size_t mid = lo + (hi - lo) / 2;
+            if (slot(mid).id < id)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+    /** Pop tombstones off both ends so lookups stay tight. */
+    void
+    trimEnds()
+    {
+        while (count_ > 0 && !slot(count_ - 1).live)
+            --count_;
+        while (count_ > 0 && !slot(0).live) {
+            head_ = (head_ + 1) & (ring_.size() - 1);
+            --count_;
+        }
+    }
+
+    void
+    grow()
+    {
+        const size_t cap = ring_.empty() ? 8 : ring_.size() * 2;
+        std::vector<Slot> bigger(cap);
+        for (size_t i = 0; i < count_; ++i)
+            bigger[i] = std::move(slot(i));
+        ring_ = std::move(bigger);
+        head_ = 0;
+    }
+
+    std::vector<Slot> ring_;
+    size_t head_ = 0;
+    size_t count_ = 0; ///< occupied slots, tombstones included
+    size_t live_ = 0;
+};
+
+} // namespace dmt
+
+#endif // DMT_DMT_CHECKPOINT_RING_HH

@@ -100,6 +100,39 @@ struct DynInst
         LogReg reg;
     };
     std::vector<DfTarget> df_targets;
+
+    /** Back to the default state, keeping df_targets' capacity (the
+     *  slab recycles slots; assigning DynInst{} would free it). */
+    void
+    reset()
+    {
+        self = DynRef{};
+        seq = 0;
+        tid = kNoThread;
+        tgen = 0;
+        tb_id = 0;
+        uid = 0;
+        inst = Instruction{};
+        pc = 0;
+        is_recovery = false;
+        squashed = false;
+        src_val[0] = src_val[1] = 0;
+        src_ready[0] = src_ready[1] = true;
+        n_src_pending = 0;
+        dest_phys = kNoPhysReg;
+        free_on_retire = kNoPhysReg;
+        recovery_owns_dest = false;
+        state = DynState::Waiting;
+        poll_retry = false;
+        fetch_cycle = 0;
+        dispatch_cycle = 0;
+        issue_cycle = 0;
+        complete_cycle = 0;
+        result = 0;
+        mem_addr = 0;
+        early_retired = false;
+        df_targets.clear();
+    }
 };
 
 /** Slab allocator with generation-checked handles. */
@@ -116,11 +149,15 @@ class DynPool
         } else {
             slot = static_cast<i32>(slots.size());
             slots.emplace_back(new DynInst);
+            // A dataflow predictor entry holds at most kMaxItems (4)
+            // targets; reserving up front keeps the first few fills of
+            // each pool slot off the heap (reset() keeps capacity).
+            slots.back()->df_targets.reserve(8);
             gens.push_back(0);
         }
         DynInst *d = slots[static_cast<size_t>(slot)];
         const u32 gen = gens[static_cast<size_t>(slot)];
-        *d = DynInst{};
+        d->reset();
         d->self = DynRef{slot, gen};
         ++live_;
         return d;

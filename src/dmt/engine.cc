@@ -45,6 +45,31 @@ DmtEngine::DmtEngine(const SimConfig &cfg_, const Program &prog_)
     memdep.assign(kMemdepEntries, 0);
     io_waiters.resize(static_cast<size_t>(cfg.max_threads));
 
+    // Pre-size output accumulators and per-slot waiter lists so
+    // steady-state growth is rare (the hot loop itself never shrinks
+    // these; see DESIGN.md section 11).  The per-register waiter
+    // reserves cut the long per-slot warmup tail: without them each of
+    // the hundreds of physical registers grows its own vector the
+    // first few times it happens to collect subscribers.
+    out_stream.reserve(4096);
+    for (PhysSubs &s : psubs) {
+        s.waiters.reserve(16);
+        s.io_subs.reserve(16);
+    }
+    for (auto &per_thread : io_waiters) {
+        for (auto &waiters : per_thread)
+            waiters.reserve(16);
+    }
+    loop_watches.reserve(8);
+    ready_q.reserve(static_cast<size_t>(cfg.window_size));
+    issue_retry_scratch_.reserve(static_cast<size_t>(cfg.window_size));
+    // A single calendar slot can in principle receive every in-flight
+    // instruction (they all pick a completion cycle at issue), so
+    // reserve each slot to the window bound.
+    for (auto &slot : calendar)
+        slot.reserve(static_cast<size_t>(cfg.window_size));
+    drain_q.reserve(64);
+
     threads.reserve(static_cast<size_t>(cfg.max_threads));
     for (int i = 0; i < cfg.max_threads; ++i) {
         threads.emplace_back(std::make_unique<ThreadContext>());
@@ -269,7 +294,9 @@ DmtEngine::watchdogExpired()
             static_cast<unsigned long long>(h.tb.firstId()),
             static_cast<unsigned long long>(h.tb.endId()),
             h.pipe.size(), h.stopped ? "stopped" : "fetching",
-            recov_state, h.recov.queue.size(), tree.size());
+            recov_state,
+            static_cast<size_t>(h.recov.has_pending ? 1 : 0),
+            tree.size());
     }
     std::string details = Postmortem::dump(*this, "watchdog", culprit);
     panicWithDetails(std::move(details),
@@ -311,7 +338,9 @@ DmtEngine::releaseEntryState(ThreadContext &t, TBEntry &entry,
         entry.lq_id = -1;
     }
     if (squashed && entry.sq_id >= 0) {
-        auto result = lsq.freeStore(entry.sq_id, true);
+        // Scratch reference: fully consumed before the next freeStore.
+        const Lsq::FreeStoreResult &result =
+            lsq.freeStore(entry.sq_id, true);
         entry.sq_id = -1;
         handleLsqViolations(result.orphaned_loads);
         for (const DynRef &ref : result.stall_waiters) {
@@ -364,7 +393,13 @@ DmtEngine::inThreadSquash(ThreadContext &t, u64 from_tb_id,
     if (checkpoint) {
         t.tb.restoreWriters(checkpoint->writers);
         t.bstate = checkpoint->bstate;
-        t.loop_spawned = checkpoint->loop_spawned;
+        // loop_spawned is append-only between checkpoint and restore,
+        // so truncating to the checkpoint's mark restores the exact
+        // set (older checkpoints hold smaller marks, so their prefixes
+        // survive this resize).
+        DMT_ASSERT(checkpoint->loop_mark <= t.loop_spawned.size(),
+                   "loop_spawned shrank below a live checkpoint");
+        t.loop_spawned.resize(checkpoint->loop_mark);
     } else {
         // Divergence repair: rebuild the writer table by scanning the
         // surviving entries.
@@ -392,11 +427,10 @@ DmtEngine::inThreadSquash(ThreadContext &t, u64 from_tb_id,
         }
     }
 
-    // Discard checkpoints of squashed branches.
-    while (!t.checkpoints.empty()
-           && t.checkpoints.rbegin()->first >= from_tb_id) {
-        t.checkpoints.erase(std::prev(t.checkpoints.end()));
-    }
+    // Discard checkpoints of squashed branches.  This runs before any
+    // trace-buffer id is reused, which is what keeps the checkpoint
+    // ring's ids strictly increasing.
+    t.checkpoints.eraseFrom(from_tb_id);
 
     // Clamp the recovery FSM: pending work beyond the truncation point
     // is gone (the refetched entries read corrected state directly).
@@ -410,14 +444,16 @@ DmtEngine::inThreadSquash(ThreadContext &t, u64 from_tb_id,
         fsm.state = RecoveryFsm::State::Idle;
         fsm.latency_left = 0; // canonical idle state (audited)
     }
-    for (auto &r : fsm.queue) {
+    if (fsm.has_pending) {
+        RecoveryRequest &r = fsm.pending;
         std::erase_if(r.load_roots,
                       [&](u64 id) { return !t.tb.contains(id); });
+        if ((r.reg_mask == 0 && r.load_roots.empty())
+            || r.start_tb_id >= t.tb.endId()) {
+            r.clear();
+            fsm.has_pending = false;
+        }
     }
-    std::erase_if(fsm.queue, [&](const RecoveryRequest &r) {
-        return (r.reg_mask == 0 && r.load_roots.empty())
-            || r.start_tb_id >= t.tb.endId();
-    });
 
     // Redirect fetch.
     t.pc = new_fetch_pc;
@@ -458,7 +494,9 @@ DmtEngine::squashThread(ThreadContext &t)
     tree.remove(t.id);
     t.active = false;
     ++t.gen;
-    io_waiters[static_cast<size_t>(t.id)].fill({});
+    // Per-register clear (not fill({})) keeps each list's capacity.
+    for (auto &waiters : io_waiters[static_cast<size_t>(t.id)])
+        waiters.clear();
 
     if (pred != kNoThread) {
         ThreadContext &p = ctx(pred);
@@ -472,10 +510,16 @@ DmtEngine::squashThreadTree(ThreadId tid)
 {
     if (!tree.contains(tid))
         return;
-    std::vector<ThreadId> victims = tree.subtree(tid);
+    // Member scratch is safe: a nested squashThreadTree (via
+    // releaseEntryState on a victim's child-spawning entry) can only
+    // target a thread already squashed in this sweep — descendants go
+    // first — so it returns on the contains() check above before
+    // touching the scratch vectors.
+    std::vector<ThreadId> &victims = squash_victims_scratch_;
+    tree.subtreeInto(tid, &victims, &squash_stack_scratch_);
     // Squash leaves first so tree.remove never splices live children.
-    for (auto it = victims.rbegin(); it != victims.rend(); ++it)
-        squashThread(ctx(*it));
+    for (size_t i = victims.size(); i > 0; --i)
+        squashThread(ctx(victims[i - 1]));
 }
 
 void

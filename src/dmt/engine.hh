@@ -21,7 +21,6 @@
 #define DMT_DMT_ENGINE_HH
 
 #include <array>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -29,11 +28,13 @@
 
 #include "branch/predictor.hh"
 #include "casm/program.hh"
+#include "common/ring_queue.hh"
 #include "dmt/dataflow_pred.hh"
 #include "dmt/dyninst.hh"
 #include "dmt/lookahead.hh"
 #include "dmt/lsq.hh"
 #include "dmt/order_tree.hh"
+#include "dmt/ready_queue.hh"
 #include "dmt/spawn_pred.hh"
 #include "dmt/stats.hh"
 #include "dmt/thread.hh"
@@ -212,8 +213,8 @@ class DmtEngine : public OrderOracle
     bool head_validated = false; ///< current head passed input check
     bool head_drain_ok = false;  ///< prior threads' stores drained
 
-    // Ready queue and completion calendar.
-    std::vector<DynRef> ready_q;
+    // Ready queue (age-indexed min-heap) and completion calendar.
+    ReadyQueue ready_q;
     static constexpr int kCalendarSlots = 256;
     std::array<std::vector<DynRef>, kCalendarSlots> calendar;
 
@@ -251,7 +252,7 @@ class DmtEngine : public OrderOracle
     std::vector<u32> out_stream;
 
     // Store drain queue (program order).
-    std::deque<i32> drain_q;
+    RingQueue<i32> drain_q;
 
     // Lookahead accounting.
     EpisodeTracker branch_eps;
@@ -286,6 +287,19 @@ class DmtEngine : public OrderOracle
         tracer_.emit(now_, tid, stage, kind, pc, a, b);
     }
     void traceSampleTick();
+
+    // ---- hot-loop scratch buffers ----------------------------------------
+    // Reused cycle to cycle so steady-state step() performs no heap
+    // allocation (see DESIGN.md section 11).  Each buffer is owned by
+    // exactly one non-reentrant routine.
+    std::vector<ReadyQueue::Item> issue_retry_scratch_; // doIssue
+    std::vector<DynRef> wb_scratch_;                    // doWriteback
+    std::vector<ThreadId> dispatch_order_scratch_;      // doDispatch
+    std::vector<ThreadId> fetch_spec_scratch_;          // doFetch
+    std::vector<DfItem> head_mispred_scratch_;          // headSwitch
+    RecoveryRequest recov_req_scratch_;  // single-event requests
+    std::vector<ThreadId> squash_victims_scratch_;      // squashThreadTree
+    std::vector<ThreadId> squash_stack_scratch_;        // squashThreadTree
 
     DmtStats stats_;
     Tracer tracer_;

@@ -34,7 +34,7 @@ DmtEngine::makeReady(DynInst *d)
     if (d->state == DynState::Ready)
         return;
     d->state = DynState::Ready;
-    ready_q.push_back(d->self);
+    ready_q.push(d->seq, d->self);
 }
 
 void
@@ -92,7 +92,8 @@ DmtEngine::deliverInput(ThreadContext &t, LogReg r, u32 value,
         } else {
             in.found_wrong = true;
         }
-        RecoveryRequest req;
+        RecoveryRequest &req = recov_req_scratch_;
+        req.clear();
         req.start_tb_id = std::max(in.first_use_id, t.tb.firstId());
         req.reg_mask = 1u << r;
         requestRecovery(t, req);
@@ -164,7 +165,8 @@ DmtEngine::handleLsqViolations(const std::vector<i32> &lq_ids)
                   tc->id, tc->tb.at(ld.tb_id).pc,
                   static_cast<u64>(ld.tb_id));
         memdepTrain(tc->tb.at(ld.tb_id).pc, true);
-        RecoveryRequest req;
+        RecoveryRequest &req = recov_req_scratch_;
+        req.clear();
         req.start_tb_id = ld.tb_id;
         req.load_roots.push_back(ld.tb_id);
         requestRecovery(*tc, req);
@@ -194,8 +196,10 @@ DmtEngine::executeMem(DynInst *d, TBEntry &entry)
 
     if (inst.isStore()) {
         if (entry.uid == d->uid) {
-            auto violations = lsq.storeExecute(entry.sq_id, addr, bytes,
-                                               d->src_val[1], *this);
+            // Scratch reference: consumed before the next storeExecute.
+            const std::vector<i32> &violations =
+                lsq.storeExecute(entry.sq_id, addr, bytes,
+                                 d->src_val[1], *this);
             handleLsqViolations(violations);
         }
         ++stats_.stores_issued;
@@ -317,28 +321,28 @@ DmtEngine::doIssue()
     if (ready_q.empty())
         return;
 
-    // Oldest-first selection.
-    std::vector<std::pair<u64, DynRef>> order;
-    order.reserve(ready_q.size());
-    for (const DynRef &ref : ready_q) {
-        DynInst *d = pool.get(ref);
-        if (d && !d->squashed && d->state == DynState::Ready)
-            order.emplace_back(d->seq, ref);
-    }
-    std::sort(order.begin(), order.end(),
-              [](const auto &a, const auto &b) { return a.first < b.first; });
-
-    ready_q.clear();
-    for (const auto &[seq, ref] : order) {
-        DynInst *d = pool.get(ref);
+    // Oldest-first selection by draining the age-indexed heap: seq
+    // keys are unique, so pop order matches the old rebuild-and-sort
+    // exactly.  Stale refs and no-longer-Ready entries filter lazily
+    // at pop, as the old scan did.  Nothing becomes Ready while the
+    // stage runs (issueDyn never calls makeReady), so the drain sees
+    // precisely the pre-stage population.
+    std::vector<ReadyQueue::Item> &retry = issue_retry_scratch_;
+    retry.clear();
+    while (!ready_q.empty()) {
+        const ReadyQueue::Item item = ready_q.top();
+        ready_q.pop();
+        DynInst *d = pool.get(item.ref);
         if (!d || d->squashed || d->state != DynState::Ready)
             continue;
         if (!fus.tryIssue(d->inst.info().opClass, now_)) {
-            ready_q.push_back(ref); // retry next cycle
+            retry.push_back(item); // retry next cycle, same age
             continue;
         }
         issueDyn(d);
     }
+    for (const ReadyQueue::Item &item : retry)
+        ready_q.push(item.seq, item.ref);
 }
 
 // ---------------------------------------------------------------------
@@ -419,11 +423,10 @@ DmtEngine::resolveControl(DynInst *d, TBEntry &entry)
         entry.branch_episode = branch_eps.open(entry.fetch_cycle, now_);
     entry.trace_next_pc = actual;
 
-    auto it = t.checkpoints.find(entry.id);
-    DMT_ASSERT(it != t.checkpoints.end(),
-               "mispredicted branch without checkpoint");
-    const BranchCheckpoint cp = std::move(it->second);
-    t.checkpoints.erase(it);
+    const BranchCheckpoint *found = t.checkpoints.find(entry.id);
+    DMT_ASSERT(found, "mispredicted branch without checkpoint");
+    const BranchCheckpoint cp = *found; // flat: stack copy, no alloc
+    t.checkpoints.erase(entry.id);
 
     inThreadSquash(t, entry.id + 1, actual, &cp);
 
@@ -461,7 +464,8 @@ DmtEngine::completeDyn(DynInst *d)
             && injector_.shouldInject(FaultSite::LoadValue)) {
             d->result =
                 injector_.corruptValue(FaultSite::LoadValue, d->result);
-            RecoveryRequest req;
+            RecoveryRequest &req = recov_req_scratch_;
+            req.clear();
             req.start_tb_id = d->tb_id;
             req.load_roots.push_back(d->tb_id);
             requestRecovery(*lt, req);
@@ -517,10 +521,13 @@ DmtEngine::doWriteback()
     if (slot.empty())
         return;
     // completeDyn can trigger squashes that touch the calendar only by
-    // marking instructions squashed — the slot vector itself is stable.
-    std::vector<DynRef> todo;
-    todo.swap(slot);
-    for (const DynRef &ref : todo) {
+    // marking instructions squashed — the slot vector itself is stable
+    // (scheduleCompletion asserts latency > 0, so nothing lands in the
+    // current slot).  Ping-pong with a member scratch: the slot gets
+    // the scratch's empty-but-capacitied buffer back, so neither side
+    // ever frees its allocation.
+    wb_scratch_.swap(slot);
+    for (const DynRef &ref : wb_scratch_) {
         DynInst *d = pool.get(ref);
         if (!d || d->squashed || d->state != DynState::Issued)
             continue;
@@ -532,6 +539,7 @@ DmtEngine::doWriteback()
         }
         completeDyn(d);
     }
+    wb_scratch_.clear();
 }
 
 // ---------------------------------------------------------------------
@@ -584,9 +592,9 @@ DmtEngine::recoveryStepThread(ThreadContext &t, int &dispatch_budget)
     RecoveryFsm &f = t.recov;
 
     if (f.state == RecoveryFsm::State::Idle) {
-        while (!f.queue.empty()) {
-            RecoveryRequest r = std::move(f.queue.front());
-            f.queue.pop_front();
+        if (f.has_pending) {
+            RecoveryRequest &r = f.pending;
+            f.has_pending = false; // consumed either way
             // Prune roots squashed or retired in the meantime.
             std::erase_if(r.load_roots, [&](u64 id) {
                 return !t.tb.contains(id);
@@ -596,19 +604,17 @@ DmtEngine::recoveryStepThread(ThreadContext &t, int &dispatch_budget)
             if (!r.load_roots.empty())
                 r.start_tb_id = std::min(r.start_tb_id,
                                          r.load_roots.front());
-            if (r.start_tb_id >= t.tb.endId())
-                continue; // nothing to walk
-            if (r.reg_mask == 0 && r.load_roots.empty())
-                continue;
-            f.cur = std::move(r);
-            f.state = RecoveryFsm::State::Latency;
-            f.latency_left = cfg.tb_latency;
-            ++stats_.recoveries;
-            emitTrace(TraceStage::Recovery,
-                      TraceEventKind::RecoveryStart, t.id, 0,
-                      f.cur.start_tb_id);
-            ++t.recoveries_started;
-            break;
+            if (r.start_tb_id < t.tb.endId()
+                && (r.reg_mask != 0 || !r.load_roots.empty())) {
+                f.cur.assignFrom(r);
+                f.state = RecoveryFsm::State::Latency;
+                f.latency_left = cfg.tb_latency;
+                ++stats_.recoveries;
+                emitTrace(TraceStage::Recovery,
+                          TraceEventKind::RecoveryStart, t.id, 0,
+                          f.cur.start_tb_id);
+                ++t.recoveries_started;
+            }
         }
         if (f.state != RecoveryFsm::State::Latency)
             return;
@@ -694,9 +700,23 @@ DmtEngine::noteRecoveryDone(ThreadContext &t)
 void
 DmtEngine::doRecovery()
 {
+    // Recoveries are events, not the steady state: gate the stage on a
+    // cheap flat scan so idle cycles skip the order walk entirely.
+    bool any_busy = false;
+    for (const auto &t : threads) {
+        if (t->active && t->recov.busy()) {
+            any_busy = true;
+            break;
+        }
+    }
+    if (!any_busy)
+        return;
+
     // Each trace buffer has its own recovery pipe (Figure 1c); the
-    // dispatch width applies per thread.
-    const std::vector<ThreadId> order = tree.order();
+    // dispatch width applies per thread.  recoveryStepThread never
+    // spawns or squashes, so the cached order is stable and can be
+    // iterated by reference.
+    const std::vector<ThreadId> &order = tree.order();
     for (ThreadId tid : order) {
         ThreadContext &t = ctx(tid);
         if (t.active && t.recov.busy()) {

@@ -118,7 +118,8 @@ DmtEngine::doFetch()
     const ThreadId head = order.front();
 
     // Collect fetch-capable speculative threads in order.
-    std::vector<ThreadId> specs;
+    std::vector<ThreadId> &specs = fetch_spec_scratch_;
+    specs.clear();
     for (size_t i = 1; i < order.size(); ++i) {
         if (ctx(order[i]).canFetch(now_, cfg.recovery_fetch_stall))
             specs.push_back(order[i]);

@@ -125,8 +125,7 @@ DmtEngine::allocateContext(ThreadContext &parent)
         < static_cast<Cycle>(cfg.preempt_min_age)) {
         return kNoThread; // damp preemption thrash
     }
-    DMT_ASSERT(tree.subtree(lowest).size() == 1,
-               "order-list tail has children");
+    DMT_ASSERT(tree.leaf(lowest), "order-list tail has children");
     squashThread(ctx(lowest));
     return lowest;
 }
@@ -234,7 +233,7 @@ DmtEngine::spawnThread(ThreadContext &parent, TBEntry &entry,
     entry.child_tid = child_id;
     entry.child_gen = c.gen;
     if (is_loop)
-        parent.loop_spawned.insert(entry.pc);
+        parent.loopSpawnedInsert(entry.pc);
 
     ++stats_.threads_spawned;
     emitTrace(TraceStage::Thread, TraceEventKind::ThreadSpawn, child_id,
@@ -260,7 +259,7 @@ DmtEngine::trySpawn(ThreadContext &parent, TBEntry &entry,
             return;
         // An inner-loop thread spawns its fall-through thread at most
         // once (paper Section 3.1).
-        if (parent.loop_spawned.count(entry.pc))
+        if (parent.loopSpawnedContains(entry.pc))
             return;
         start = spawn_pred.predictAfterLoop(entry.pc);
     } else {
@@ -346,12 +345,14 @@ DmtEngine::dispatchOne(ThreadContext &t, const FetchedInst &fi)
     }
 
     // Checkpoint mispredictable control transfers for exact repair.
+    // Fill the ring slot in place: every field is flat, so this never
+    // allocates (the loop-spawned set is checkpointed as a mark, not a
+    // copy — see BranchCheckpoint).
     if (inst.isCondBranch() || inst.isIndirect()) {
-        BranchCheckpoint cp;
+        BranchCheckpoint &cp = t.checkpoints.emplace(id);
         cp.writers = t.tb.writerSnapshot();
         cp.bstate = fi.has_bstate ? fi.bstate_before : t.bstate;
-        cp.loop_spawned = t.loop_spawned;
-        t.checkpoints.emplace(id, std::move(cp));
+        cp.loop_mark = t.loop_spawned.size();
     }
 
     DynInst *d = pool.alloc();
@@ -397,7 +398,11 @@ DmtEngine::dispatchOne(ThreadContext &t, const FetchedInst &fi)
 void
 DmtEngine::doDispatch()
 {
-    const std::vector<ThreadId> order = tree.order(); // copy: may spawn
+    // Copy into a member scratch (capacity reused): dispatchOne may
+    // spawn, which invalidates the tree's cached order mid-iteration.
+    dispatch_order_scratch_.assign(tree.order().begin(),
+                                   tree.order().end());
+    const std::vector<ThreadId> &order = dispatch_order_scratch_;
     int budget = cfg.fetch_ports * cfg.fetch_block;
 
     for (ThreadId tid : order) {

@@ -77,6 +77,8 @@ DmtEngine::doEarlyRetire()
 void
 DmtEngine::doStoreDrain()
 {
+    if (drain_q.empty())
+        return;
     int budget = cfg.unlimited_fus ? 8 : cfg.fus.mem_ports;
     while (!drain_q.empty() && budget > 0) {
         if (!cfg.unlimited_fus
@@ -87,11 +89,15 @@ DmtEngine::doStoreDrain()
         drain_q.pop_front();
         --budget;
 
-        LsqStore st = lsq.store(sq); // copy before freeing
-        mem.write(st.addr, st.bytes, st.data);
-        hier.dataAccess(st.addr, true);
+        // Scalar copies before freeStore invalidates the entry.
+        const LsqStore &st = lsq.store(sq);
+        const Addr st_addr = st.addr;
+        const int st_bytes = st.bytes;
+        const u32 st_data = st.data;
+        mem.write(st_addr, st_bytes, st_data);
+        hier.dataAccess(st_addr, true);
 
-        auto res = lsq.freeStore(sq, false);
+        const Lsq::FreeStoreResult &res = lsq.freeStore(sq, false);
         DMT_ASSERT(res.orphaned_loads.empty(),
                    "drained store reported orphans");
         for (const DynRef &ref : res.stall_waiters) {
@@ -114,7 +120,8 @@ DmtEngine::headSwitch(ThreadContext &t)
     if (!drain_q.empty())
         return;
 
-    std::vector<DfItem> mispredicted;
+    std::vector<DfItem> &mispredicted = head_mispred_scratch_;
+    mispredicted.clear();
     for (int ri = 1; ri < kNumLogRegs; ++ri) {
         const LogReg r = static_cast<LogReg>(ri);
         IoInput &in = t.io.in[r];
@@ -167,6 +174,13 @@ DmtEngine::noteRetiredForPredictors(const TBEntry &entry)
     // Loop-exit detection: did control leave any watched loop body?
     // Excursions into called procedures don't count — only code reached
     // at the loop's own call depth is an exit.
+    //
+    // ORDER MATTERS here: loop_watches is kept in insertion (FIFO)
+    // order so that the capacity eviction below — erase(begin()) at
+    // cap 8 — drops the *oldest* watch.  Swap-and-pop in this erase
+    // loop would scramble that order and change which watch gets
+    // evicted, so the ordered erase is intentional (the list is at
+    // most 8 entries, so the shift is cheap).
     for (size_t i = 0; i < loop_watches.size();) {
         LoopWatch &w = loop_watches[i];
         if (w.call_depth <= 0
@@ -198,6 +212,8 @@ DmtEngine::noteRetiredForPredictors(const TBEntry &entry)
         for (const LoopWatch &w : loop_watches)
             known = known || w.branch_pc == entry.pc;
         if (!known) {
+            // FIFO eviction of the oldest watch — relies on the list
+            // staying in insertion order (see comment above).
             if (loop_watches.size() >= 8)
                 loop_watches.erase(loop_watches.begin());
             loop_watches.push_back({entry.pc, body_lo, entry.pc, 0});
@@ -375,7 +391,10 @@ DmtEngine::fullyRetireThread(ThreadContext &t)
     tree.remove(t.id);
     t.active = false;
     ++t.gen;
-    io_waiters[static_cast<size_t>(t.id)].fill({});
+    // Per-element clear keeps each waiter vector's capacity (fill({})
+    // would replace them with freshly-constructed empties).
+    for (auto &waiters : io_waiters[static_cast<size_t>(t.id)])
+        waiters.clear();
     head_validated = false;
     if (debug_trace)
         std::fprintf(stderr, "[%llu] fullyRetired tid=%d start=0x%x "

@@ -12,14 +12,32 @@
  * instruction) finally retires — that both establishes that the owner
  * was on the correct path and gives the program-order anchor: any
  * instruction retiring later is later in program order.
+ *
+ * Performance (DESIGN.md section 11): covered() is called up to four
+ * times per finally-retired instruction and the episode retention
+ * window spans ~100k cycles, so a linear scan over the episode ring is
+ * the dominant cost of a dmt run.  The tracker therefore keeps two
+ * structures:
+ *
+ *  - `episodes`: the FIFO ring of every live episode, ordered by the
+ *    monotonic handle — open()/ownerRetired()/drop() resolve handles
+ *    with a binary search, and prune() pops from the front only (the
+ *    FIFO bound is observable through size() and pinned by tests);
+ *  - `countable_` + `pmax_`: the countable episodes sorted by start
+ *    cycle with a running prefix-maximum of end, so covered() is a
+ *    stabbing query: binary-search the last start <= when and compare
+ *    the prefix max against when.  The rare case where the *excluded*
+ *    episode itself covers the query point falls back to a linear scan
+ *    to keep the owner-excludes-itself semantics exact.
  */
 
 #ifndef DMT_DMT_LOOKAHEAD_HH
 #define DMT_DMT_LOOKAHEAD_HH
 
-#include <deque>
-
+#include "common/ring_queue.hh"
 #include "common/types.hh"
+
+#include <vector>
 
 namespace dmt
 {
@@ -28,6 +46,8 @@ namespace dmt
 class EpisodeTracker
 {
   public:
+    EpisodeTracker();
+
     /**
      * Register an episode pending owner retirement.
      * @return episode handle (monotonic id).
@@ -62,7 +82,31 @@ class EpisodeTracker
         bool dropped = false;
     };
 
-    std::deque<Episode> episodes;
+    /** A countable episode, mirrored into the start-sorted query index. */
+    struct Countable
+    {
+        Cycle start;
+        Cycle end;
+        u64 handle;
+    };
+
+    /** Ring slot of @p handle, or -1 (ring is handle-ordered). */
+    i64 findByHandle(u64 handle) const;
+
+    /** Insert into countable_ keeping start order; update pmax_. */
+    void indexCountable(const Episode &e);
+
+    /** Remove @p handle from countable_ (if present); update pmax_. */
+    void unindexCountable(u64 handle);
+
+    /** Recompute pmax_ from @p from to the end. */
+    void refreshPrefixMax(size_t from);
+
+    RingQueue<Episode> episodes;
+    /** Countable episodes sorted by start cycle. */
+    std::vector<Countable> countable_;
+    /** pmax_[i] = max end over countable_[0..i]. */
+    std::vector<Cycle> pmax_;
     u64 next_handle = 1;
 };
 

@@ -14,12 +14,25 @@ Lsq::Lsq(int lq_per_thread_, int sq_per_thread_, int max_threads)
     const int sq_total = sq_per_thread * max_threads;
     loads.resize(static_cast<size_t>(lq_total));
     stores.resize(static_cast<size_t>(sq_total));
+    // Per-slot lists are bounded by the load-queue population; reserve
+    // the bound up front so no slot ever grows on the hot path.
+    for (LsqStore &st : stores) {
+        st.stall_waiters.reserve(static_cast<size_t>(lq_total));
+        st.forwardees.reserve(static_cast<size_t>(lq_total));
+    }
     for (int i = lq_total - 1; i >= 0; --i)
         free_loads.push_back(i);
     for (int i = sq_total - 1; i >= 0; --i)
         free_stores.push_back(i);
     lq_count.assign(static_cast<size_t>(max_threads), 0);
     sq_count.assign(static_cast<size_t>(max_threads), 0);
+    loads_by_word.init(static_cast<size_t>(lq_total));
+    stores_by_word.init(static_cast<size_t>(sq_total));
+    violations_scratch_.reserve(static_cast<size_t>(lq_total));
+    free_store_result_.orphaned_loads.reserve(
+        static_cast<size_t>(lq_total));
+    free_store_result_.stall_waiters.reserve(
+        static_cast<size_t>(lq_total));
 }
 
 i32
@@ -47,12 +60,20 @@ Lsq::allocStore(ThreadId tid, u32 tgen, u64 tb_id)
     const i32 id = free_stores.back();
     free_stores.pop_back();
     LsqStore &e = stores[static_cast<size_t>(id)];
-    e.stall_waiters.clear();
-    e = LsqStore{};
+    // Field-wise reset: assigning LsqStore{} would free the vectors'
+    // capacity that freeStore() deliberately preserved.
     e.valid = true;
     e.tid = tid;
     e.tgen = tgen;
     e.tb_id = tb_id;
+    e.executed = false;
+    e.addr = 0;
+    e.bytes = 0;
+    e.data = 0;
+    e.retired = false;
+    e.retire_seq = 0;
+    e.stall_waiters.clear();
+    e.forwardees.clear();
     ++sq_count[static_cast<size_t>(tid)];
     return id;
 }
@@ -62,19 +83,21 @@ Lsq::freeLoad(i32 id)
 {
     LsqLoad &e = load(id);
     if (e.issued)
-        mapRemove(loads_by_word, wordOf(e.addr), id);
+        loads_by_word.remove(wordOf(e.addr), id);
     --lq_count[static_cast<size_t>(e.tid)];
     e.valid = false;
     free_loads.push_back(id);
 }
 
-Lsq::FreeStoreResult
+const Lsq::FreeStoreResult &
 Lsq::freeStore(i32 id, bool squashed)
 {
-    FreeStoreResult result;
+    FreeStoreResult &result = free_store_result_;
+    result.orphaned_loads.clear();
+    result.stall_waiters.clear();
     LsqStore &e = store(id);
     if (e.executed) {
-        mapRemove(stores_by_word, wordOf(e.addr), id);
+        stores_by_word.remove(wordOf(e.addr), id);
         // Detach loads that forwarded from this store.  On a squash
         // they consumed phantom data and must re-execute; on a normal
         // drain their data was correct, but the dangling reference
@@ -88,7 +111,10 @@ Lsq::freeStore(i32 id, bool squashed)
                 result.orphaned_loads.push_back(lid);
         }
     }
-    result.stall_waiters = std::move(e.stall_waiters);
+    // Copy (not move) so both the entry's and the scratch's capacity
+    // survive for reuse.
+    result.stall_waiters.assign(e.stall_waiters.begin(),
+                                e.stall_waiters.end());
     --sq_count[static_cast<size_t>(e.tid)];
     e.valid = false;
     e.stall_waiters.clear();
@@ -127,27 +153,6 @@ Lsq::store(i32 id)
     return stores[static_cast<size_t>(id)];
 }
 
-void
-Lsq::mapInsert(std::unordered_map<Addr, std::vector<i32>> &m, Addr word,
-               i32 id)
-{
-    m[word].push_back(id);
-}
-
-void
-Lsq::mapRemove(std::unordered_map<Addr, std::vector<i32>> &m, Addr word,
-               i32 id)
-{
-    auto it = m.find(word);
-    DMT_ASSERT(it != m.end(), "map entry missing");
-    auto &vec = it->second;
-    auto pos = std::find(vec.begin(), vec.end(), id);
-    DMT_ASSERT(pos != vec.end(), "id %d missing from address map", id);
-    vec.erase(pos);
-    if (vec.empty())
-        m.erase(it);
-}
-
 bool
 Lsq::overlaps(Addr a1, u8 b1, Addr a2, u8 b2)
 {
@@ -177,30 +182,30 @@ Lsq::loadIssue(i32 lq_id, Addr addr, u8 bytes, const OrderOracle &order)
 {
     LsqLoad &ld = load(lq_id);
     if (ld.issued)
-        mapRemove(loads_by_word, wordOf(ld.addr), lq_id);
+        loads_by_word.remove(wordOf(ld.addr), lq_id);
     ld.issued = true;
     ld.addr = addr;
     ld.bytes = bytes;
     ld.fwd_store = -1;
-    mapInsert(loads_by_word, wordOf(addr), lq_id);
+    loads_by_word.insert(wordOf(addr), lq_id);
 
     // Find the latest program-order-earlier executed store overlapping
-    // this address.
+    // this address.  Chain order is arbitrary; the selected store is
+    // the unique maximum under the strict total order storeBefore, so
+    // the result does not depend on traversal order.
     LoadIssueResult result;
     i32 best = -1;
-    auto it = stores_by_word.find(wordOf(addr));
-    if (it != stores_by_word.end()) {
-        for (i32 sid : it->second) {
-            const LsqStore &st = stores[static_cast<size_t>(sid)];
-            if (!st.executed || !overlaps(addr, bytes, st.addr, st.bytes))
-                continue;
-            if (!storeBeforeLoad(st, ld, order))
-                continue;
-            if (best < 0
-                || storeBefore(stores[static_cast<size_t>(best)], st,
-                               order)) {
-                best = sid;
-            }
+    for (i32 sid = stores_by_word.chainHead(wordOf(addr)); sid >= 0;
+         sid = stores_by_word.chainNext(sid)) {
+        const LsqStore &st = stores[static_cast<size_t>(sid)];
+        if (!st.executed || !overlaps(addr, bytes, st.addr, st.bytes))
+            continue;
+        if (!storeBeforeLoad(st, ld, order))
+            continue;
+        if (best < 0
+            || storeBefore(stores[static_cast<size_t>(best)], st,
+                           order)) {
+            best = sid;
         }
     }
 
@@ -228,7 +233,7 @@ Lsq::setLoadValue(i32 lq_id, u32 raw_value)
     load(lq_id).raw_value = raw_value;
 }
 
-std::vector<i32>
+const std::vector<i32> &
 Lsq::storeExecute(i32 sq_id, Addr addr, u8 bytes, u32 data,
                   const OrderOracle &order)
 {
@@ -236,17 +241,18 @@ Lsq::storeExecute(i32 sq_id, Addr addr, u8 bytes, u32 data,
     const bool re_exec = st.executed;
     const Addr old_word = wordOf(st.addr);
     if (re_exec && old_word != wordOf(addr)) {
-        mapRemove(stores_by_word, old_word, sq_id);
-        mapInsert(stores_by_word, wordOf(addr), sq_id);
+        stores_by_word.remove(old_word, sq_id);
+        stores_by_word.insert(wordOf(addr), sq_id);
     } else if (!re_exec) {
-        mapInsert(stores_by_word, wordOf(addr), sq_id);
+        stores_by_word.insert(wordOf(addr), sq_id);
     }
     st.executed = true;
     st.addr = addr;
     st.bytes = bytes;
     st.data = data;
 
-    std::vector<i32> violations;
+    std::vector<i32> &violations = violations_scratch_;
+    violations.clear();
     auto consider = [&](i32 lid) {
         const LsqLoad &ld = loads[static_cast<size_t>(lid)];
         if (!ld.valid || !ld.issued)
@@ -290,20 +296,17 @@ Lsq::storeExecute(i32 sq_id, Addr addr, u8 bytes, u32 data,
     };
 
     // Loads overlapping the new address.
-    auto it = loads_by_word.find(wordOf(addr));
-    if (it != loads_by_word.end()) {
-        for (i32 lid : it->second)
-            consider(lid);
+    for (i32 lid = loads_by_word.chainHead(wordOf(addr)); lid >= 0;
+         lid = loads_by_word.chainNext(lid)) {
+        consider(lid);
     }
     // Loads that forwarded from this store under the previous address.
     if (re_exec && old_word != wordOf(addr)) {
-        auto it2 = loads_by_word.find(old_word);
-        if (it2 != loads_by_word.end()) {
-            for (i32 lid : it2->second) {
-                const LsqLoad &ld = loads[static_cast<size_t>(lid)];
-                if (ld.valid && ld.issued && ld.fwd_store == sq_id)
-                    consider(lid);
-            }
+        for (i32 lid = loads_by_word.chainHead(old_word); lid >= 0;
+             lid = loads_by_word.chainNext(lid)) {
+            const LsqLoad &ld = loads[static_cast<size_t>(lid)];
+            if (ld.valid && ld.issued && ld.fwd_store == sq_id)
+                consider(lid);
         }
     }
 

@@ -26,11 +26,11 @@
 #ifndef DMT_DMT_LSQ_HH
 #define DMT_DMT_LSQ_HH
 
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
 #include "dmt/dyninst.hh"
+#include "dmt/word_index.hh"
 
 namespace dmt
 {
@@ -110,13 +110,16 @@ class Lsq
      * loads that forwarded from it consumed phantom data and are
      * returned for recovery; stall waiters are returned either way so
      * the engine can retry them.
+     *
+     * Returns a reference to internal scratch storage: consume it
+     * before the next freeStore() call.
      */
     struct FreeStoreResult
     {
         std::vector<i32> orphaned_loads;
         std::vector<DynRef> stall_waiters;
     };
-    FreeStoreResult freeStore(i32 id, bool squashed);
+    const FreeStoreResult &freeStore(i32 id, bool squashed);
 
     bool lqFull(ThreadId tid) const;
     bool sqFull(ThreadId tid) const;
@@ -147,10 +150,13 @@ class Lsq
 
     /**
      * (Re-)execute a store: record address/data and return the ids of
-     * later loads that are now known to have read stale data.
+     * later loads that are now known to have read stale data (sorted,
+     * deduplicated).  Returns a reference to internal scratch storage:
+     * consume it before the next storeExecute() call.
      */
-    std::vector<i32> storeExecute(i32 sq_id, Addr addr, u8 bytes,
-                                  u32 data, const OrderOracle &order);
+    const std::vector<i32> &storeExecute(i32 sq_id, Addr addr, u8 bytes,
+                                         u32 data,
+                                         const OrderOracle &order);
 
     /**
      * Mark the store finally retired (awaiting drain).  @p retire_seq
@@ -193,11 +199,6 @@ class Lsq
 
     static Addr wordOf(Addr a) { return a & ~3u; }
 
-    void mapInsert(std::unordered_map<Addr, std::vector<i32>> &m,
-                   Addr word, i32 id);
-    void mapRemove(std::unordered_map<Addr, std::vector<i32>> &m,
-                   Addr word, i32 id);
-
     int lq_per_thread;
     int sq_per_thread;
 
@@ -208,8 +209,13 @@ class Lsq
     std::vector<int> lq_count; // per thread
     std::vector<int> sq_count;
 
-    std::unordered_map<Addr, std::vector<i32>> loads_by_word;
-    std::unordered_map<Addr, std::vector<i32>> stores_by_word;
+    WordIndex loads_by_word;
+    WordIndex stores_by_word;
+
+    // Reused result storage so the hot path returns without
+    // allocating (see storeExecute / freeStore).
+    std::vector<i32> violations_scratch_;
+    FreeStoreResult free_store_result_;
 };
 
 } // namespace dmt

@@ -143,9 +143,22 @@ OrderTree::before(ThreadId a, ThreadId b) const
 std::vector<ThreadId>
 OrderTree::subtree(ThreadId tid) const
 {
-    DMT_ASSERT(active[idx(tid)], "subtree of inactive thread %d", tid);
     std::vector<ThreadId> result;
-    std::vector<ThreadId> stack{tid};
+    std::vector<ThreadId> stack;
+    subtreeInto(tid, &result, &stack);
+    return result;
+}
+
+void
+OrderTree::subtreeInto(ThreadId tid, std::vector<ThreadId> *out,
+                       std::vector<ThreadId> *scratch) const
+{
+    DMT_ASSERT(active[idx(tid)], "subtree of inactive thread %d", tid);
+    std::vector<ThreadId> &result = *out;
+    std::vector<ThreadId> &stack = *scratch;
+    result.clear();
+    stack.clear();
+    stack.push_back(tid);
     while (!stack.empty()) {
         const ThreadId t = stack.back();
         stack.pop_back();
@@ -153,7 +166,6 @@ OrderTree::subtree(ThreadId tid) const
         for (ThreadId c : kids[idx(t)])
             stack.push_back(c);
     }
-    return result;
 }
 
 int

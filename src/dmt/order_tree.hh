@@ -58,6 +58,21 @@ class OrderTree
     /** All active threads in @p tid's subtree, including @p tid. */
     std::vector<ThreadId> subtree(ThreadId tid) const;
 
+    /**
+     * subtree() into caller-owned storage (@p out is overwritten,
+     * @p scratch is the walk stack) — same visit order, no allocation
+     * once the vectors have warmed up.
+     */
+    void subtreeInto(ThreadId tid, std::vector<ThreadId> *out,
+                     std::vector<ThreadId> *scratch) const;
+
+    /** Does @p tid have no children? */
+    bool
+    leaf(ThreadId tid) const
+    {
+        return kids[idx(tid)].empty();
+    }
+
     int size() const;
 
     /**

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Persistent age-indexed ready structure for doIssue().  The old path
+ * rebuilt a (seq, ref) vector and sorted it every cycle; this keeps a
+ * binary min-heap keyed by the instruction's unique dispatch seq, so
+ * insertion is O(log n), oldest-first extraction is O(log n), and the
+ * steady state never allocates (the backing vector only grows).
+ *
+ * seq values are unique per DynInst, so the heap order is a strict
+ * total order: pop order is deterministic and identical to the old
+ * sort-by-seq order.  Squashed or already-issued entries are filtered
+ * lazily at pop time by the caller, exactly as the old scan did.
+ */
+
+#ifndef DMT_DMT_READY_QUEUE_HH
+#define DMT_DMT_READY_QUEUE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/log.hh"
+#include "dmt/dyninst.hh"
+
+namespace dmt
+{
+
+class ReadyQueue
+{
+  public:
+    struct Item
+    {
+        u64 seq = 0;
+        DynRef ref;
+    };
+
+    bool empty() const { return heap_.empty(); }
+    size_t size() const { return heap_.size(); }
+
+    void
+    push(u64 seq, DynRef ref)
+    {
+        heap_.push_back({seq, ref});
+        siftUp(heap_.size() - 1);
+    }
+
+    /** The oldest (smallest-seq) entry. */
+    const Item &
+    top() const
+    {
+        DMT_ASSERT(!heap_.empty(), "top() on empty ready queue");
+        return heap_[0];
+    }
+
+    void
+    pop()
+    {
+        DMT_ASSERT(!heap_.empty(), "pop() on empty ready queue");
+        heap_[0] = heap_.back();
+        heap_.pop_back();
+        if (!heap_.empty())
+            siftDown(0);
+    }
+
+    void clear() { heap_.clear(); }
+
+    void reserve(size_t n) { heap_.reserve(n); }
+
+  private:
+    void
+    siftUp(size_t i)
+    {
+        while (i > 0) {
+            const size_t parent = (i - 1) / 2;
+            if (heap_[parent].seq <= heap_[i].seq)
+                break;
+            std::swap(heap_[parent], heap_[i]);
+            i = parent;
+        }
+    }
+
+    void
+    siftDown(size_t i)
+    {
+        const size_t n = heap_.size();
+        for (;;) {
+            const size_t l = 2 * i + 1;
+            const size_t r = l + 1;
+            size_t min = i;
+            if (l < n && heap_[l].seq < heap_[min].seq)
+                min = l;
+            if (r < n && heap_[r].seq < heap_[min].seq)
+                min = r;
+            if (min == i)
+                break;
+            std::swap(heap_[i], heap_[min]);
+            i = min;
+        }
+    }
+
+    std::vector<Item> heap_;
+};
+
+} // namespace dmt
+
+#endif // DMT_DMT_READY_QUEUE_HH

@@ -8,13 +8,17 @@
  * tb_latency startup delay, filters transitively dependent
  * instructions with a 32-entry dependency flag table, and re-dispatches
  * them through the recovery rename map.
+ *
+ * All queued work merges into one pending request (see enqueue), so
+ * the "queue" is a single slot.  Request vectors are recycled
+ * field-wise everywhere — the steady-state recovery path never
+ * allocates once load_roots capacity has warmed up.
  */
 
 #ifndef DMT_DMT_RECOVERY_HH
 #define DMT_DMT_RECOVERY_HH
 
 #include <algorithm>
-#include <deque>
 #include <vector>
 
 #include "common/types.hh"
@@ -38,6 +42,24 @@ struct RecoveryRequest
         return std::binary_search(load_roots.begin(), load_roots.end(),
                                   id);
     }
+
+    /** Field-wise copy that reuses load_roots capacity. */
+    void
+    assignFrom(const RecoveryRequest &o)
+    {
+        start_tb_id = o.start_tb_id;
+        reg_mask = o.reg_mask;
+        load_roots.assign(o.load_roots.begin(), o.load_roots.end());
+    }
+
+    /** Back to the default state without freeing capacity. */
+    void
+    clear()
+    {
+        start_tb_id = 0;
+        reg_mask = 0;
+        load_roots.clear();
+    }
 };
 
 /** Per-thread recovery engine state. */
@@ -47,7 +69,10 @@ class RecoveryFsm
     enum class State { Idle, Latency, Walk };
 
     State state = State::Idle;
-    std::deque<RecoveryRequest> queue;
+
+    /** The single merged pending request (valid iff has_pending). */
+    RecoveryRequest pending;
+    bool has_pending = false;
 
     // Active-walk state.
     RecoveryRequest cur;
@@ -57,7 +82,7 @@ class RecoveryFsm
     /** Next unvisited entry of cur.load_roots. */
     size_t next_root = 0;
 
-    bool busy() const { return state != State::Idle || !queue.empty(); }
+    bool busy() const { return state != State::Idle || has_pending; }
     bool walking() const { return state != State::Idle; }
 
     /**
@@ -74,8 +99,8 @@ class RecoveryFsm
             low = std::min(low, walk_pos);
         else if (state == State::Latency)
             low = std::min(low, cur.start_tb_id);
-        for (const RecoveryRequest &q : queue)
-            low = std::min(low, q.start_tb_id);
+        if (has_pending)
+            low = std::min(low, pending.start_tb_id);
         return low;
     }
 
@@ -88,20 +113,21 @@ class RecoveryFsm
     void
     enqueue(const RecoveryRequest &req)
     {
-        if (queue.empty()) {
-            queue.push_back(req);
-            auto &lr = queue.back().load_roots;
-            std::sort(lr.begin(), lr.end());
+        if (!has_pending) {
+            pending.assignFrom(req);
+            std::sort(pending.load_roots.begin(),
+                      pending.load_roots.end());
+            has_pending = true;
             return;
         }
-        RecoveryRequest &q = queue.front();
-        q.start_tb_id = std::min(q.start_tb_id, req.start_tb_id);
-        q.reg_mask |= req.reg_mask;
+        pending.start_tb_id =
+            std::min(pending.start_tb_id, req.start_tb_id);
+        pending.reg_mask |= req.reg_mask;
         for (u64 id : req.load_roots) {
-            auto it = std::lower_bound(q.load_roots.begin(),
-                                       q.load_roots.end(), id);
-            if (it == q.load_roots.end() || *it != id)
-                q.load_roots.insert(it, id);
+            auto it = std::lower_bound(pending.load_roots.begin(),
+                                       pending.load_roots.end(), id);
+            if (it == pending.load_roots.end() || *it != id)
+                pending.load_roots.insert(it, id);
         }
     }
 
@@ -109,8 +135,9 @@ class RecoveryFsm
     reset()
     {
         state = State::Idle;
-        queue.clear();
-        cur = RecoveryRequest{};
+        pending.clear();
+        has_pending = false;
+        cur.clear();
         walk_pos = 0;
         dep_flags = 0;
         latency_left = 0;

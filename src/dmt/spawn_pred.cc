@@ -76,6 +76,9 @@ SpawnPredictor::onRetireSpawnPoint(Addr join_pc)
         if (e.join_pc == join_pc)
             return;
     }
+    // ORDER MATTERS: the stack is FIFO-evicted here and LIFO-popped in
+    // onRetirePc, so a swap-and-pop would change which join candidates
+    // survive.  kStackDepth is small; the ordered erase is cheap.
     if (static_cast<int>(stack.size()) >= kStackDepth)
         stack.erase(stack.begin()); // drop the oldest
     stack.push_back({join_pc, spawn_seq, retired_seq});

@@ -10,12 +10,12 @@
 #ifndef DMT_DMT_THREAD_HH
 #define DMT_DMT_THREAD_HH
 
-#include <deque>
-#include <map>
-#include <set>
+#include <algorithm>
 #include <vector>
 
 #include "branch/predictor.hh"
+#include "common/ring_queue.hh"
+#include "dmt/checkpoint_ring.hh"
 #include "dmt/dataflow_pred.hh"
 #include "dmt/dyninst.hh"
 #include "dmt/io_regfile.hh"
@@ -35,7 +35,13 @@ struct BranchCheckpoint
 {
     TraceBuffer::WriterSnapshot writers;
     ThreadBranchState bstate;
-    std::set<Addr> loop_spawned;
+    /**
+     * loop_spawned length at checkpoint time.  The spawned-loop set is
+     * append-only between a checkpoint and its restore, so the prefix
+     * of that length IS the checkpointed set — no copy needed (the old
+     * code deep-copied a std::set into every checkpoint).
+     */
+    size_t loop_mark = 0;
 };
 
 /** An instruction in flight between fetch and dispatch. */
@@ -81,7 +87,7 @@ struct ThreadContext
     bool stopped = false;  ///< reached successor start / HALT / squarantine
     bool fetched_halt = false;
     Cycle fetch_ready = 0; ///< ICache miss stall release
-    std::deque<FetchedInst> fq;
+    RingQueue<FetchedInst> fq;
     u64 pending_imiss_episode = 0;
 
     // Rename and speculative state.
@@ -91,14 +97,30 @@ struct ThreadContext
     RecoveryFsm recov;
 
     /** Dispatched, not-yet-early-retired instructions in order. */
-    std::deque<DynRef> pipe;
+    RingQueue<DynRef> pipe;
 
     /** Checkpoints of mispredictable branches, keyed by TB id. */
-    std::map<u64, BranchCheckpoint> checkpoints;
+    CheckpointRing<BranchCheckpoint> checkpoints;
 
     /** Backward-branch PCs that already spawned a fall-through thread
-     *  (paper: an inner loop spawns its after-loop thread only once). */
-    std::set<Addr> loop_spawned;
+     *  (paper: an inner loop spawns its after-loop thread only once).
+     *  Append-only flat set; a checkpoint restore truncates back to
+     *  the checkpoint's loop_mark (see BranchCheckpoint). */
+    std::vector<Addr> loop_spawned;
+
+    bool
+    loopSpawnedContains(Addr branch_pc) const
+    {
+        return std::find(loop_spawned.begin(), loop_spawned.end(),
+                         branch_pc) != loop_spawned.end();
+    }
+
+    void
+    loopSpawnedInsert(Addr branch_pc)
+    {
+        if (!loopSpawnedContains(branch_pc))
+            loop_spawned.push_back(branch_pc);
+    }
 
     /** Dataflow-prediction watches for this thread's inputs. */
     std::vector<DfWatch> df_watch;

@@ -40,9 +40,10 @@ TraceBuffer::append(TBEntry entry)
         has_writer[entry.dest] = 1;
     }
 
-    entries.push_back(entry);
+    store_[slotOf(entry.id)] = entry;
+    ++count_;
     ++total_appended;
-    return entries.back().id;
+    return entry.id;
 }
 
 } // namespace dmt

@@ -19,7 +19,7 @@
 #define DMT_DMT_TRACE_BUFFER_HH
 
 #include <array>
-#include <deque>
+#include <vector>
 
 #include "common/log.hh"
 #include "common/types.hh"
@@ -104,19 +104,24 @@ class TraceBuffer
     void
     reset(int capacity_)
     {
-        entries.clear();
+        head_ = 0;
+        count_ = 0;
         base = 0;
         capacity = capacity_;
+        // Grow-only backing store: re-spawning a context with the same
+        // tb_size (the common case) reuses the existing slots.
+        if (static_cast<size_t>(capacity_) > store_.size())
+            store_.resize(static_cast<size_t>(capacity_));
         has_writer.fill(0);
         last_writer_.fill(0);
         total_appended = 0;
     }
 
     bool full() const { return size() >= capacity; }
-    bool empty() const { return entries.empty(); }
-    int size() const { return static_cast<int>(entries.size()); }
+    bool empty() const { return count_ == 0; }
+    int size() const { return static_cast<int>(count_); }
     u64 firstId() const { return base; }
-    u64 endId() const { return base + entries.size(); }
+    u64 endId() const { return base + count_; }
     bool
     contains(u64 id) const
     {
@@ -127,14 +132,14 @@ class TraceBuffer
     at(u64 id)
     {
         DMT_ASSERT(contains(id), "trace buffer id out of range");
-        return entries[static_cast<size_t>(id - base)];
+        return store_[slotOf(id)];
     }
 
     const TBEntry &
     at(u64 id) const
     {
         DMT_ASSERT(contains(id), "trace buffer id out of range");
-        return entries[static_cast<size_t>(id - base)];
+        return store_[slotOf(id)];
     }
 
     /** Append a renamed instruction; fills id and source refs. */
@@ -144,10 +149,13 @@ class TraceBuffer
     void
     popFront()
     {
-        DMT_ASSERT(!entries.empty(), "pop from empty trace buffer");
+        DMT_ASSERT(count_ > 0, "pop from empty trace buffer");
         // The last-writer table intentionally keeps references to
         // retired ids; is_live_out checks compare ids, not storage.
-        entries.pop_front();
+        ++head_;
+        if (head_ >= store_.size())
+            head_ = 0;
+        --count_;
         ++base;
     }
 
@@ -160,8 +168,8 @@ class TraceBuffer
     truncateFrom(u64 from_id)
     {
         DMT_ASSERT(from_id >= base, "truncation below retired entries");
-        while (endId() > from_id)
-            entries.pop_back();
+        if (from_id < endId())
+            count_ = static_cast<size_t>(from_id - base);
     }
 
     /** Is @p id the thread's current last writer of its destination? */
@@ -207,7 +215,27 @@ class TraceBuffer
     u64 totalAppended() const { return total_appended; }
 
   private:
-    std::deque<TBEntry> entries;
+    /**
+     * Slot of @p id in the circular store.  Valid for live ids and for
+     * the one-past-the-end append position: id - base <= count_ <=
+     * store_.size() and head_ < store_.size(), so one compare-subtract
+     * wraps.  (The store is sized exactly to capacity, not rounded to
+     * a power of two — trace buffers are sized by config, and masking
+     * would waste up to 2x memory per thread.)
+     */
+    size_t
+    slotOf(u64 id) const
+    {
+        size_t s = head_ + static_cast<size_t>(id - base);
+        if (s >= store_.size())
+            s -= store_.size();
+        return s;
+    }
+
+    /** Fixed-capacity circular store; slots are reused, never freed. */
+    std::vector<TBEntry> store_;
+    size_t head_ = 0;
+    size_t count_ = 0;
     u64 base = 0;
     int capacity = 0;
     u64 total_appended = 0;

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Address-to-entries index for the LSQ.  Replaces
+ * std::unordered_map<Addr, std::vector<i32>>, which allocated a node
+ * per touched word and a vector per chain — the dominant allocation
+ * source in memory-heavy workloads.  Design:
+ *
+ *  - open-addressed power-of-two cell table with linear probing, one
+ *    cell per distinct word address currently indexed;
+ *  - pooled chain storage: every LSQ id lives in at most one chain at
+ *    a time, so chains are intrusive singly-linked lists through a
+ *    flat next_[id] array sized once at construction;
+ *  - empty chains leave a tombstone (used cell, head == -1) so later
+ *    probes stay valid; tombstones are dropped when the table rehashes.
+ *
+ * Steady state allocates nothing: the word working set is bounded by
+ * queue capacity, so after warmup the cell table stops rehashing.
+ *
+ * Chain order is most-recently-inserted first — NOT the insertion
+ * order the old map's vectors kept.  Every LSQ consumer either selects
+ * a unique extremum under a strict total order or sorts its result, so
+ * iteration order is immaterial (see Lsq::loadIssue/storeExecute).
+ */
+
+#ifndef DMT_DMT_WORD_INDEX_HH
+#define DMT_DMT_WORD_INDEX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace dmt
+{
+
+class WordIndex
+{
+  public:
+    /** @p max_ids bounds the LSQ ids this index will ever see. */
+    void
+    init(size_t max_ids)
+    {
+        next_.assign(max_ids, -1);
+        cells_.assign(16, Cell{});
+        scratch_.reserve(16);
+        used_cells_ = 0;
+    }
+
+    /** Push @p id onto @p word's chain (id must not be chained). */
+    void
+    insert(Addr word, i32 id)
+    {
+        maybeGrow();
+        Cell &c = cellFor(word);
+        next_[static_cast<size_t>(id)] = c.head;
+        c.head = id;
+    }
+
+    /** Unlink @p id from @p word's chain (must be present). */
+    void
+    remove(Addr word, i32 id)
+    {
+        Cell *c = findCell(word);
+        DMT_ASSERT(c, "word index cell missing");
+        i32 *link = &c->head;
+        while (*link != id) {
+            DMT_ASSERT(*link >= 0, "id %d missing from word index", id);
+            link = &next_[static_cast<size_t>(*link)];
+        }
+        *link = next_[static_cast<size_t>(id)];
+        next_[static_cast<size_t>(id)] = -1;
+        // An emptied cell stays as a tombstone so probe chains that
+        // pass through it keep working; rehash reclaims it.
+    }
+
+    /** First id on @p word's chain, or -1. */
+    i32
+    chainHead(Addr word) const
+    {
+        const Cell *c = findCell(word);
+        return c ? c->head : -1;
+    }
+
+    /** Successor of @p id on its chain, or -1. */
+    i32
+    chainNext(i32 id) const
+    {
+        return next_[static_cast<size_t>(id)];
+    }
+
+    /** Visit every non-empty chain: f(word, head_id). */
+    template <typename F>
+    void
+    forEachChain(F &&f) const
+    {
+        for (const Cell &c : cells_) {
+            if (c.used && c.head >= 0)
+                f(c.word, c.head);
+        }
+    }
+
+  private:
+    struct Cell
+    {
+        Addr word = 0;
+        i32 head = -1;
+        bool used = false;
+    };
+
+    static size_t
+    hashWord(Addr w)
+    {
+        u64 x = w;
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdULL;
+        x ^= x >> 29;
+        return static_cast<size_t>(x);
+    }
+
+    const Cell *
+    findCell(Addr word) const
+    {
+        const size_t mask = cells_.size() - 1;
+        for (size_t i = hashWord(word) & mask;; i = (i + 1) & mask) {
+            const Cell &c = cells_[i];
+            if (!c.used)
+                return nullptr;
+            if (c.word == word)
+                return &c;
+        }
+    }
+
+    Cell *
+    findCell(Addr word)
+    {
+        return const_cast<Cell *>(
+            static_cast<const WordIndex *>(this)->findCell(word));
+    }
+
+    /** Existing cell for @p word, or a claimed tombstone/free cell. */
+    Cell &
+    cellFor(Addr word)
+    {
+        const size_t mask = cells_.size() - 1;
+        Cell *tombstone = nullptr;
+        for (size_t i = hashWord(word) & mask;; i = (i + 1) & mask) {
+            Cell &c = cells_[i];
+            if (!c.used) {
+                // Word not present; claim the earliest tombstone on
+                // the probe path, else this free cell.
+                Cell &claim = tombstone ? *tombstone : c;
+                if (!claim.used)
+                    ++used_cells_;
+                claim.word = word;
+                claim.head = -1;
+                claim.used = true;
+                return claim;
+            }
+            if (c.word == word)
+                return c;
+            if (!tombstone && c.head < 0)
+                tombstone = &c;
+        }
+    }
+
+    void
+    maybeGrow()
+    {
+        // Keep load factor (tombstones included) under ~0.7.
+        if (used_cells_ * 10 < cells_.size() * 7)
+            return;
+        size_t live = 0;
+        for (const Cell &c : cells_) {
+            if (c.used && c.head >= 0)
+                ++live;
+        }
+        size_t cap = cells_.size();
+        while (cap < (live + 1) * 2)
+            cap *= 2;
+        // Tombstone-dropping rehashes recur in steady state (words
+        // empty out constantly), so rebuild into a persistent scratch
+        // buffer and swap: once cap stops growing, this allocates
+        // nothing.
+        scratch_.assign(cap, Cell{});
+        used_cells_ = 0;
+        const size_t mask = cap - 1;
+        for (const Cell &c : cells_) {
+            if (!c.used || c.head < 0)
+                continue; // tombstones die here
+            size_t i = hashWord(c.word) & mask;
+            while (scratch_[i].used)
+                i = (i + 1) & mask;
+            scratch_[i] = c;
+            ++used_cells_;
+        }
+        cells_.swap(scratch_);
+    }
+
+    std::vector<Cell> cells_;
+    /** Rehash target, kept allocated between rehashes (ping-pong). */
+    std::vector<Cell> scratch_;
+    size_t used_cells_ = 0; ///< used cells, tombstones included
+    /** Intrusive chain links, indexed by LSQ id. */
+    std::vector<i32> next_;
+};
+
+} // namespace dmt
+
+#endif // DMT_DMT_WORD_INDEX_HH

@@ -1,5 +1,7 @@
 #include "exp/runner.hh"
 
+#include <chrono>
+
 #include "common/env.hh"
 #include "common/json.hh"
 #include "common/log.hh"
@@ -10,7 +12,7 @@ namespace dmt
 {
 
 void
-RunResult::jsonOn(JsonWriter &w) const
+RunResult::jsonOn(JsonWriter &w, bool include_timing) const
 {
     w.beginObject();
     w.key("workload").value(std::string_view(workload));
@@ -18,6 +20,10 @@ RunResult::jsonOn(JsonWriter &w) const
     w.key("retired").value(retired);
     w.key("completed").value(completed);
     w.key("ipc").value(ipc);
+    if (include_timing) {
+        w.key("wall_s").value(wall_s);
+        w.key("minstr_per_s").value(minstr_per_s);
+    }
     StatGroup group("dmt");
     stats.registerAll(group);
     w.key("stats");
@@ -29,7 +35,7 @@ std::string
 RunResult::jsonString() const
 {
     JsonWriter w;
-    jsonOn(w);
+    jsonOn(w, /*include_timing=*/false);
     return w.str();
 }
 
@@ -51,7 +57,10 @@ runWorkload(const SimConfig &cfg, const std::string &workload,
 
     const Program prog = buildWorkload(workload);
     DmtEngine engine(run_cfg, prog);
+    const auto start = std::chrono::steady_clock::now();
     engine.run();
+    const double wall = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
 
     // Throwing (rather than exiting) lets sweeps over many workloads
     // and configurations catch one bad run, log it, and keep going.
@@ -65,6 +74,9 @@ runWorkload(const SimConfig &cfg, const std::string &workload,
     r.retired = engine.stats().retired.value();
     r.completed = engine.programCompleted();
     r.ipc = engine.stats().ipc();
+    r.wall_s = wall;
+    r.minstr_per_s = wall > 0.0
+        ? static_cast<double>(r.retired) / wall / 1e6 : 0.0;
     r.stats = engine.stats();
     return r;
 }

@@ -27,13 +27,20 @@ struct RunResult
     u64 retired = 0;
     bool completed = false; ///< program HALTed before the cap
     double ipc = 0.0;
+    /** Host wall clock for the run (same accounting as SweepStats). */
+    double wall_s = 0.0;
+    /** Host throughput: retired Minstr per wall second. */
+    double minstr_per_s = 0.0;
     DmtStats stats;
 
-    /** Serialize (headline numbers plus the full stat block). */
-    void jsonOn(JsonWriter &w) const;
+    /** Serialize (headline numbers plus the full stat block).  Host
+     *  timing fields are emitted only with @p include_timing: they are
+     *  nondeterministic, so the canonical form leaves them out. */
+    void jsonOn(JsonWriter &w, bool include_timing = true) const;
 
     /** The jsonOn() document as a string — the canonical form for
-     *  bit-identity comparisons between serial and pooled runs. */
+     *  bit-identity comparisons between serial and pooled runs.
+     *  Excludes host-timing fields (wall_s, minstr_per_s). */
     std::string jsonString() const;
 };
 

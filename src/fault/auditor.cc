@@ -93,10 +93,8 @@ InvariantAuditor::auditRecovery(const ThreadContext &t, std::string *why)
     };
     if (!rootsSorted(r.cur))
         return fail(why, "tid %d: active walk load roots unsorted", t.id);
-    for (const RecoveryRequest &q : r.queue) {
-        if (!rootsSorted(q))
-            return fail(why, "tid %d: queued load roots unsorted", t.id);
-    }
+    if (r.has_pending && !rootsSorted(r.pending))
+        return fail(why, "tid %d: pending load roots unsorted", t.id);
     return true;
 }
 
@@ -239,30 +237,45 @@ InvariantAuditor::auditLsq(const DmtEngine &e, std::string *why)
     // By-word indexes: every listed id is a valid issued/executed entry
     // filed under the word of its current address, exactly once; every
     // issued/executed entry is listed.
-    auto auditIndex = [&](const char *side, const auto &by_word,
+    auto auditIndex = [&](const char *side, const WordIndex &by_word,
                           const auto &entries, auto inIndex,
                           auto addrOf) -> bool {
         std::unordered_set<i32> listed;
-        for (const auto &[word, ids] : by_word) {
-            for (i32 id : ids) {
-                if (id < 0 || id >= static_cast<i32>(entries.size()))
-                    return fail(why, "lsq %s index holds bad id %d",
-                                side, id);
-                if (!inIndex(id))
-                    return fail(why,
-                                "lsq %s index holds id %d that is not "
-                                "an issued valid entry",
-                                side, id);
-                if ((addrOf(id) & ~3u) != word)
-                    return fail(why,
-                                "lsq %s id %d filed under word 0x%x but "
-                                "addressed 0x%x",
-                                side, id, word, addrOf(id));
-                if (!listed.insert(id).second)
-                    return fail(why, "lsq %s id %d indexed twice", side,
-                                id);
+        bool ok = true;
+        by_word.forEachChain([&](Addr word, i32 head) {
+            if (!ok)
+                return;
+            // Bounded walk: a cycle in the intrusive links would spin
+            // past the entry count and trip the duplicate check.
+            for (i32 id = head; id >= 0; id = by_word.chainNext(id)) {
+                if (id >= static_cast<i32>(entries.size())) {
+                    ok = fail(why, "lsq %s index holds bad id %d",
+                              side, id);
+                    return;
+                }
+                if (!inIndex(id)) {
+                    ok = fail(why,
+                              "lsq %s index holds id %d that is not "
+                              "an issued valid entry",
+                              side, id);
+                    return;
+                }
+                if ((addrOf(id) & ~3u) != word) {
+                    ok = fail(why,
+                              "lsq %s id %d filed under word 0x%x but "
+                              "addressed 0x%x",
+                              side, id, word, addrOf(id));
+                    return;
+                }
+                if (!listed.insert(id).second) {
+                    ok = fail(why, "lsq %s id %d indexed twice", side,
+                              id);
+                    return;
+                }
             }
-        }
+        });
+        if (!ok)
+            return false;
         for (size_t id = 0; id < entries.size(); ++id) {
             if (inIndex(static_cast<i32>(id))
                 && !listed.count(static_cast<i32>(id))) {

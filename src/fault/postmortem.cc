@@ -44,7 +44,7 @@ threadOn(JsonWriter &w, const ThreadContext &t)
     w.key("checkpoints").value(static_cast<u64>(t.checkpoints.size()));
     w.key("recovery").beginObject();
     w.key("state").value(recoveryStateName(t.recov.state));
-    w.key("queued").value(static_cast<u64>(t.recov.queue.size()));
+    w.key("queued").value(static_cast<u64>(t.recov.has_pending ? 1 : 0));
     w.key("walk_pos").value(t.recov.walk_pos);
     w.key("latency_left").value(t.recov.latency_left);
     w.key("low_water").value(t.recov.lowWater());
