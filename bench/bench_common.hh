@@ -23,6 +23,7 @@
 #include "exp/experiments.hh"
 #include "exp/report.hh"
 #include "exp/runner.hh"
+#include "exp/sampled.hh"
 #include "exp/sweep.hh"
 #include "workloads/workloads.hh"
 
@@ -70,6 +71,18 @@ sweepGrid(const std::vector<BenchColumn> &machines)
 
     SweepRunner::Progress progress;
     if (!benchQuiet()) {
+        const SampleParams sp = SampleParams::fromEnv();
+        if (sp.enabled()) {
+            std::fprintf(stderr,
+                         "sampling: DMT_SAMPLE=%llu:%llu:%llu "
+                         "(intervals=%llu) — cycles/retired cover "
+                         "measured windows only\n",
+                         static_cast<unsigned long long>(sp.skip),
+                         static_cast<unsigned long long>(sp.warm),
+                         static_cast<unsigned long long>(sp.measure),
+                         static_cast<unsigned long long>(
+                             sp.max_intervals));
+        }
         std::fprintf(stderr, "sweep: %zu jobs on %d worker(s)\n",
                      pool.size(), pool.poolWidth());
         progress = [](const SweepJob &job, const SweepCell &cell,

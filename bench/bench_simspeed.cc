@@ -16,7 +16,10 @@
 
 #include "bench_common.hh"
 
+#include <chrono>
+
 #include "common/env.hh"
+#include "sim/functional_core.hh"
 
 namespace
 {
@@ -87,6 +90,44 @@ benchMain()
         }
     }
 
+    // Functional fast-forward throughput: full-program FunctionalCore
+    // runs — the engine behind the checkpointed skip distance in
+    // sampled mode (DMT_SAMPLE), so its ratio over dmt6 bounds how much
+    // of a sampled run's wall clock the skips can cost.
+    double func_mips = 0.0;
+    double func_wall = 0.0;
+    u64 func_instr = 0;
+    for (u64 rep = 0; rep < reps; ++rep) {
+        double wall = 0.0;
+        u64 instr = 0;
+        for (const WorkloadInfo &w : workloadSuite()) {
+            const Program prog = buildWorkload(w.name);
+            FunctionalCore core(prog);
+            const auto t0 = std::chrono::steady_clock::now();
+            core.run(~u64{0});
+            wall += std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+            instr += core.instrCount();
+        }
+        const double mips = wall > 0.0 ? instr / wall / 1e6 : 0.0;
+        if (!benchQuiet()) {
+            std::fprintf(stderr,
+                         "simspeed: functional rep %llu/%llu: %.3f "
+                         "Minstr/s (%.2fs wall, full programs)\n",
+                         static_cast<unsigned long long>(rep + 1),
+                         static_cast<unsigned long long>(reps), mips,
+                         wall);
+        }
+        if (mips > func_mips) {
+            func_mips = mips;
+            func_wall = wall;
+            func_instr = instr;
+        }
+    }
+    const double ff_ratio = machines[1].minstr_per_s > 0.0
+        ? func_mips / machines[1].minstr_per_s : 0.0;
+
     // Aggregate over machines: total simulated work over total time,
     // each machine contributing its best rep.
     double total_wall = 0.0;
@@ -112,6 +153,10 @@ benchMain()
     std::printf("%-10s %12.3f %10.2f %12llu\n", "aggregate", aggregate,
                 total_wall,
                 static_cast<unsigned long long>(total_retired));
+    std::printf("%-10s %12.3f %10.2f %12llu  (full programs, "
+                "%.0fx dmt6)\n",
+                "functional", func_mips, func_wall,
+                static_cast<unsigned long long>(func_instr), ff_ratio);
 
     JsonWriter w;
     w.beginObject();
@@ -119,6 +164,13 @@ benchMain()
     w.key("instr_per_run").value(budget);
     w.key("reps").value(reps);
     w.key("aggregate_minstr_per_s").value(aggregate);
+    w.key("functional");
+    w.beginObject();
+    w.key("minstr_per_s").value(func_mips);
+    w.key("wall_s").value(func_wall);
+    w.key("instr").value(func_instr);
+    w.key("speedup_vs_dmt6").value(ff_ratio);
+    w.endObject();
     w.key("machines").beginArray();
     for (const MachineSpeed &m : machines) {
         w.beginObject();

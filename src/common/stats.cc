@@ -31,6 +31,22 @@ Average::reset()
     n = 0;
 }
 
+void
+Average::merge(const Average &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        lo = other.lo;
+        hi = other.hi;
+    } else {
+        lo = std::min(lo, other.lo);
+        hi = std::max(hi, other.hi);
+    }
+    sum += other.sum;
+    n += other.n;
+}
+
 Histogram::Histogram(double lo_, double hi_, int nbuckets)
     : lo(lo_), hi(hi_), buckets(static_cast<size_t>(nbuckets), 0)
 {
@@ -53,6 +69,17 @@ Histogram::reset()
 {
     std::fill(buckets.begin(), buckets.end(), 0);
     total = 0;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    DMT_ASSERT(lo == other.lo && hi == other.hi
+                   && buckets.size() == other.buckets.size(),
+               "merging histograms of different shape");
+    for (size_t i = 0; i < buckets.size(); ++i)
+        buckets[i] += other.buckets[i];
+    total += other.total;
 }
 
 double

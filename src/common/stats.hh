@@ -29,6 +29,9 @@ class Counter
     void operator++(int) { ++value_; }
     void reset() { value_ = 0; }
 
+    /** Accumulate another counter (interval aggregation). */
+    void merge(const Counter &other) { value_ += other.value_; }
+
     u64 value() const { return value_; }
 
   private:
@@ -41,6 +44,9 @@ class Average
   public:
     void sample(double v);
     void reset();
+
+    /** Pool another average's samples into this one. */
+    void merge(const Average &other);
 
     u64 count() const { return n; }
     double mean() const { return n == 0 ? 0.0 : sum / double(n); }
@@ -62,6 +68,9 @@ class Histogram
 
     void sample(double v);
     void reset();
+
+    /** Add another histogram's buckets; shapes must match exactly. */
+    void merge(const Histogram &other);
 
     u64 count() const { return total; }
     u64 bucketCount(int i) const { return buckets.at(i); }

@@ -8,12 +8,14 @@
 #include "fault/auditor.hh"
 #include "fault/postmortem.hh"
 #include "sim/arch_state.hh"
+#include "sim/checkpoint.hh"
 #include "sim/functional.hh"
 
 namespace dmt
 {
 
-DmtEngine::DmtEngine(const SimConfig &cfg_, const Program &prog_)
+DmtEngine::DmtEngine(const SimConfig &cfg_, const Program &prog_,
+                     const Checkpoint *resume)
     : cfg(cfg_),
       prog(prog_),
       hier(cfg_.mem),
@@ -37,9 +39,22 @@ DmtEngine::DmtEngine(const SimConfig &cfg_, const Program &prog_)
         cfg.crash_file = crash;
     tracer_.configure(traceOptionsFromEnv(cfg.trace));
     injector_.configure(faultOptionsFromEnv(cfg.fault));
-    mem.loadProgram(prog);
-    if (cfg.check_golden)
-        checker = std::make_unique<GoldenChecker>(prog);
+    if (resume) {
+        DMT_ASSERT(!resume->state.halted,
+                   "cannot resume from a halted checkpoint");
+        DMT_ASSERT(resume->prog_hash == Checkpoint::programHash(prog),
+                   "checkpoint was taken against a different program");
+        mem = resume->mem;
+    } else {
+        mem.loadProgram(prog);
+    }
+    if (cfg.check_golden) {
+        checker = resume
+            ? std::make_unique<GoldenChecker>(prog, resume->state,
+                                              resume->mem)
+            : std::make_unique<GoldenChecker>(prog);
+    }
+    warmup_pending_ = cfg.warmup_retired > 0;
 
     psubs.resize(static_cast<size_t>(prf.count()));
     memdep.assign(kMemdepEntries, 0);
@@ -77,15 +92,19 @@ DmtEngine::DmtEngine(const SimConfig &cfg_, const Program &prog_)
         threads.back()->active = false;
     }
 
-    // Bring up the initial (architectural) thread.
+    // Bring up the initial (architectural) thread — at the program's
+    // entry conditions, or at the checkpoint's mid-stream state.
     ThreadContext &t0 = *threads[0];
     t0.resetFor(0, cfg.tb_size);
-    t0.start_pc = t0.pc = prog.entry;
+    t0.start_pc = t0.pc = resume ? resume->state.pc : prog.entry;
     tree.resetWith(0);
 
     // Architectural initial register values are exact thread inputs.
     ArchState init;
-    init.reset(prog);
+    if (resume)
+        init = resume->state;
+    else
+        init.reset(prog);
     for (int r = 0; r < kNumLogRegs; ++r) {
         IoInput &in = t0.io.in[static_cast<size_t>(r)];
         in.valid = true;
@@ -98,8 +117,23 @@ DmtEngine::DmtEngine(const SimConfig &cfg_, const Program &prog_)
     head_validated = true;
 
     emitTrace(TraceStage::Thread, TraceEventKind::ThreadSpawn, 0,
-              prog.entry, static_cast<u64>(static_cast<i64>(kNoThread)),
+              t0.start_pc, static_cast<u64>(static_cast<i64>(kNoThread)),
               0);
+}
+
+void
+DmtEngine::beginMeasurement()
+{
+    warmup_pending_ = false;
+    // Zero the stat block: measured cycles/retired/speculation counts
+    // start at the warmup boundary.  The hierarchy keeps its (warm)
+    // state; only the counts accumulated so far are subtracted from
+    // the end-of-run snapshot.
+    stats_ = DmtStats{};
+    meas_il_miss_base_ = hier.l1i().misses();
+    meas_il_hit_base_ = hier.l1i().hits();
+    meas_dl_miss_base_ = hier.l1d().misses();
+    meas_dl_hit_base_ = hier.l1d().hits();
 }
 
 void
@@ -231,6 +265,11 @@ DmtEngine::step()
         imiss_eps.prune(horizon);
     }
 
+    // Statistics warmup boundary: once enough instructions have finally
+    // retired, restart measurement with warm caches/predictors.
+    if (warmup_pending_ && retired_total >= cfg.warmup_retired)
+        beginMeasurement();
+
     ++now_;
     ++stats_.cycles;
 
@@ -262,11 +301,16 @@ DmtEngine::run()
         }
     }
 
-    // Snapshot cache statistics into the stat block.
-    stats_.icache_misses += hier.l1i().misses();
-    stats_.icache_accesses += hier.l1i().misses() + hier.l1i().hits();
-    stats_.dcache_misses += hier.l1d().misses();
-    stats_.dcache_accesses += hier.l1d().misses() + hier.l1d().hits();
+    // Snapshot cache statistics into the stat block, net of whatever
+    // accumulated before the measurement window opened.
+    const u64 il_miss = hier.l1i().misses() - meas_il_miss_base_;
+    const u64 il_hit = hier.l1i().hits() - meas_il_hit_base_;
+    const u64 dl_miss = hier.l1d().misses() - meas_dl_miss_base_;
+    const u64 dl_hit = hier.l1d().hits() - meas_dl_hit_base_;
+    stats_.icache_misses += il_miss;
+    stats_.icache_accesses += il_miss + il_hit;
+    stats_.dcache_misses += dl_miss;
+    stats_.dcache_accesses += dl_miss + dl_hit;
 
     tracer_.finish();
 }

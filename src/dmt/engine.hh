@@ -49,11 +49,23 @@
 namespace dmt
 {
 
+struct Checkpoint;
+
 /** The DMT / baseline-superscalar cycle simulator. */
 class DmtEngine : public OrderOracle
 {
   public:
-    DmtEngine(const SimConfig &cfg, const Program &prog);
+    /**
+     * @param resume optional architectural checkpoint to start from:
+     *        mid-stream PC, registers and memory replace the program's
+     *        entry conditions, and the golden checker is forked from
+     *        the same snapshot.  The checkpoint must not be halted.
+     *        Microarchitectural state (caches, predictors, spawn
+     *        tables) starts cold — pair with cfg.warmup_retired so
+     *        measurement begins warm.
+     */
+    DmtEngine(const SimConfig &cfg, const Program &prog,
+              const Checkpoint *resume = nullptr);
 
     /** Run until HALT retires or a configured limit triggers. */
     void run();
@@ -68,10 +80,19 @@ class DmtEngine : public OrderOracle
     /** True specifically when HALT retired (program completed). */
     bool programCompleted() const { return program_done; }
 
+    /** Instructions finally retired since construction — includes any
+     *  warmup window the stat block has already detached from. */
+    u64 retiredTotal() const { return retired_total; }
+
     Cycle now() const { return now_; }
 
     const DmtStats &stats() const { return stats_; }
     const SimConfig &config() const { return cfg; }
+
+    /** False while a cfg.warmup_retired window is still detaching the
+     *  stat block; true once measurement has begun (always true when
+     *  no warmup window is configured). */
+    bool measurementActive() const { return !warmup_pending_; }
 
     /** Values emitted by retired OUT instructions, in order. */
     const std::vector<u32> &outputStream() const { return out_stream; }
@@ -186,6 +207,7 @@ class DmtEngine : public OrderOracle
     PhysReg allocPhys();
     void checkRegConservation();
     [[noreturn]] void watchdogExpired();
+    void beginMeasurement();
 
     // ---- configuration and substrate -------------------------------------
     SimConfig cfg;
@@ -250,6 +272,15 @@ class DmtEngine : public OrderOracle
     std::array<Addr, kNumLogRegs> last_mod_pc{};
     u64 retired_total = 0;
     std::vector<u32> out_stream;
+
+    // Statistics warmup (cfg.warmup_retired): the stat block detaches
+    // until the warmup boundary retires, and the cache-hierarchy
+    // snapshot in run() subtracts the counts accumulated before it.
+    bool warmup_pending_ = false;
+    u64 meas_il_miss_base_ = 0;
+    u64 meas_il_hit_base_ = 0;
+    u64 meas_dl_miss_base_ = 0;
+    u64 meas_dl_hit_base_ = 0;
 
     // Store drain queue (program order).
     RingQueue<i32> drain_q;

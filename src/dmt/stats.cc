@@ -4,6 +4,66 @@ namespace dmt
 {
 
 void
+DmtStats::merge(const DmtStats &other)
+{
+    cycles.merge(other.cycles);
+    retired.merge(other.retired);
+    early_retired.merge(other.early_retired);
+    dispatched.merge(other.dispatched);
+    issued.merge(other.issued);
+    squashed_insts.merge(other.squashed_insts);
+
+    threads_spawned.merge(other.threads_spawned);
+    threads_squashed.merge(other.threads_squashed);
+    threads_joined.merge(other.threads_joined);
+    spawns_suppressed.merge(other.spawns_suppressed);
+    thread_size.merge(other.thread_size);
+    thread_overlap.merge(other.thread_overlap);
+    active_threads.merge(other.active_threads);
+    thread_size_hist.merge(other.thread_size_hist);
+
+    cond_branches.merge(other.cond_branches);
+    cond_mispredicts.merge(other.cond_mispredicts);
+    indirect_jumps.merge(other.indirect_jumps);
+    indirect_mispredicts.merge(other.indirect_mispredicts);
+    late_divergences.merge(other.late_divergences);
+
+    loads_issued.merge(other.loads_issued);
+    stores_issued.merge(other.stores_issued);
+    fwd_same_thread.merge(other.fwd_same_thread);
+    fwd_cross_thread.merge(other.fwd_cross_thread);
+    load_stalls_partial.merge(other.load_stalls_partial);
+    lsq_violations.merge(other.lsq_violations);
+
+    recoveries.merge(other.recoveries);
+    recovery_dispatches.merge(other.recovery_dispatches);
+    recovery_walk_hist.merge(other.recovery_walk_hist);
+    df_corrections.merge(other.df_corrections);
+    df_matches.merge(other.df_matches);
+    df_deliveries.merge(other.df_deliveries);
+    inputs_used.merge(other.inputs_used);
+    inputs_valid_at_spawn.merge(other.inputs_valid_at_spawn);
+    inputs_same_later.merge(other.inputs_same_later);
+    inputs_df_correct.merge(other.inputs_df_correct);
+    inputs_hit.merge(other.inputs_hit);
+
+    la_fetch_beyond_mispredict.merge(other.la_fetch_beyond_mispredict);
+    la_exec_beyond_mispredict.merge(other.la_exec_beyond_mispredict);
+    la_fetch_beyond_imiss.merge(other.la_fetch_beyond_imiss);
+    la_exec_beyond_imiss.merge(other.la_exec_beyond_imiss);
+
+    st_headswitch.merge(other.st_headswitch);
+    st_recovery.merge(other.st_recovery);
+    st_incomplete.merge(other.st_incomplete);
+    st_empty.merge(other.st_empty);
+
+    icache_misses.merge(other.icache_misses);
+    icache_accesses.merge(other.icache_accesses);
+    dcache_misses.merge(other.dcache_misses);
+    dcache_accesses.merge(other.dcache_accesses);
+}
+
+void
 DmtStats::registerAll(StatGroup &group) const
 {
     group.addCounter("cycles", &cycles, "simulated cycles");

@@ -104,6 +104,10 @@ struct DmtStats
 
     /** Register everything on a StatGroup for text dumps. */
     void registerAll(StatGroup &group) const;
+
+    /** Accumulate another stat block (interval-sampled aggregation):
+     *  counters and histograms add, averages pool their samples. */
+    void merge(const DmtStats &other);
 };
 
 } // namespace dmt

@@ -6,10 +6,42 @@
 #include "common/json.hh"
 #include "common/log.hh"
 #include "dmt/engine.hh"
+#include "exp/sampled.hh"
 #include "workloads/workloads.hh"
 
 namespace dmt
 {
+
+void
+SampleSummary::jsonOn(JsonWriter &w, bool include_timing) const
+{
+    w.beginObject();
+    w.key("skip").value(skip);
+    w.key("warm").value(warm);
+    w.key("measure").value(measure);
+    w.key("intervals").value(intervals);
+    w.key("covered").value(covered);
+    w.key("functional_instr").value(functional_instr);
+    if (include_timing)
+        w.key("func_wall_s").value(func_wall_s);
+    w.key("cpi_mean").value(cpi_mean);
+    w.key("cpi_sd").value(cpi_sd);
+    w.key("cpi_ci95").value(cpi_ci95);
+    w.key("windows");
+    w.beginArray();
+    for (const SampleInterval &iv : records) {
+        w.beginObject();
+        w.key("pos").value(iv.pos);
+        w.key("cycles").value(iv.cycles);
+        w.key("retired").value(iv.retired);
+        w.key("spawned").value(iv.spawned);
+        w.key("squashed").value(iv.squashed);
+        w.key("recoveries").value(iv.recoveries);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
 
 void
 RunResult::jsonOn(JsonWriter &w, bool include_timing) const
@@ -23,6 +55,10 @@ RunResult::jsonOn(JsonWriter &w, bool include_timing) const
     if (include_timing) {
         w.key("wall_s").value(wall_s);
         w.key("minstr_per_s").value(minstr_per_s);
+    }
+    if (sampling.enabled) {
+        w.key("sampling");
+        sampling.jsonOn(w, include_timing);
     }
     StatGroup group("dmt");
     stats.registerAll(group);
@@ -51,6 +87,12 @@ RunResult
 runWorkload(const SimConfig &cfg, const std::string &workload,
             u64 max_retired)
 {
+    // Sampled mode (DMT_SAMPLE) reroutes the whole funnel: benches and
+    // sweeps get interval sampling without knowing about it.
+    const SampleParams sp = SampleParams::fromEnv();
+    if (sp.enabled())
+        return runWorkloadSampled(cfg, workload, sp, max_retired);
+
     SimConfig run_cfg = cfg;
     run_cfg.max_retired =
         max_retired > 0 ? max_retired : benchRunLength();

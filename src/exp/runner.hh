@@ -10,6 +10,7 @@
 #define DMT_EXP_RUNNER_HH
 
 #include <string>
+#include <vector>
 
 #include "dmt/stats.hh"
 #include "uarch/config.hh"
@@ -18,6 +19,44 @@ namespace dmt
 {
 
 class JsonWriter;
+
+/** One measured window of an interval-sampled run. */
+struct SampleInterval
+{
+    /** Retired-instruction position where the detailed window began
+     *  (start of warmup, i.e. the checkpoint's resume position). */
+    u64 pos = 0;
+    u64 cycles = 0;  ///< measured (post-warmup) cycles
+    u64 retired = 0; ///< measured (post-warmup) retired instructions
+    u64 spawned = 0;
+    u64 squashed = 0;
+    u64 recoveries = 0;
+};
+
+/** Sampling metadata attached to a RunResult in sampled mode. */
+struct SampleSummary
+{
+    bool enabled = false;
+    u64 skip = 0;    ///< fast-forwarded instructions per interval
+    u64 warm = 0;    ///< detailed warmup instructions (stats detached)
+    u64 measure = 0; ///< detailed measured instructions
+    u64 intervals = 0; ///< measured intervals completed
+    /** Stream positions traversed in total (functional + detailed);
+     *  equals program length when the run reached HALT. */
+    u64 covered = 0;
+    /** Instructions covered by functional fast-forward alone. */
+    u64 functional_instr = 0;
+    /** Host seconds this run spent advancing the functional cursor
+     *  (excluded from the canonical JSON, like all host timing). */
+    double func_wall_s = 0.0;
+    /** Per-interval CPI statistics; ci95 = 1.96 * sd / sqrt(n). */
+    double cpi_mean = 0.0;
+    double cpi_sd = 0.0;
+    double cpi_ci95 = 0.0;
+    std::vector<SampleInterval> records;
+
+    void jsonOn(JsonWriter &w, bool include_timing) const;
+};
 
 /** Outcome of one simulation run. */
 struct RunResult
@@ -32,6 +71,9 @@ struct RunResult
     /** Host throughput: retired Minstr per wall second. */
     double minstr_per_s = 0.0;
     DmtStats stats;
+    /** Interval-sampling summary; enabled only in sampled mode, where
+     *  cycles/retired/stats cover the measured windows only. */
+    SampleSummary sampling;
 
     /** Serialize (headline numbers plus the full stat block).  Host
      *  timing fields are emitted only with @p include_timing: they are
@@ -56,6 +98,12 @@ u64 benchRunLength();
  * retiring at most @p max_retired instructions (0 = benchRunLength()).
  * Golden checking stays enabled: a bench producing wrong execution
  * aborts rather than reporting garbage.
+ *
+ * When DMT_SAMPLE is set ("skip:warm:measure[:intervals]") the run is
+ * routed through runWorkloadSampled() instead: detailed simulation
+ * covers periodic measurement windows and checkpointed functional
+ * fast-forward covers the gaps, so every bench and sweep built on this
+ * funnel gains paper-scale coverage without code changes.
  */
 RunResult runWorkload(const SimConfig &cfg, const std::string &workload,
                       u64 max_retired = 0);

@@ -1,0 +1,307 @@
+#include "exp/sampled.hh"
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/env.hh"
+#include "common/log.hh"
+#include "common/strutil.hh"
+#include "dmt/engine.hh"
+#include "sim/checkpoint.hh"
+#include "sim/functional_core.hh"
+#include "workloads/workloads.hh"
+
+namespace dmt
+{
+
+SampleParams
+SampleParams::fromEnv()
+{
+    SampleParams p;
+    const char *raw = std::getenv("DMT_SAMPLE");
+    if (!raw || !*raw)
+        return p;
+    const std::vector<std::string> parts = splitFields(raw, ":");
+    if (parts.size() < 3 || parts.size() > 4) {
+        fatal("DMT_SAMPLE must be skip:warm:measure[:intervals], got "
+              "\"%s\"", raw);
+    }
+    u64 v[4] = {0, 0, 0, 0};
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (!parseU64(parts[i], &v[i]))
+            fatal("bad DMT_SAMPLE field \"%s\" in \"%s\"",
+                  parts[i].c_str(), raw);
+    }
+    p.skip = v[0];
+    p.warm = v[1];
+    p.measure = v[2];
+    p.max_intervals = parts.size() == 4 ? v[3] : 0;
+    if (p.measure == 0)
+        fatal("DMT_SAMPLE measure window must be > 0 (got \"%s\")", raw);
+    return p;
+}
+
+namespace
+{
+
+/**
+ * Per-workload checkpoint chain.  One functional cursor advances
+ * through the program; every sampled position it reaches is captured
+ * as a Checkpoint and kept (shared_ptr, immutable) so concurrent sweep
+ * cells and later invocations reuse it.  Heap-allocated so the Program
+ * the cursor references has a stable address.
+ */
+struct WorkloadCkpts
+{
+    std::mutex m;
+    Program prog;
+    u64 prog_hash = 0;
+    std::unique_ptr<FunctionalCore> cursor;
+    std::map<u64, std::shared_ptr<const Checkpoint>> by_pos;
+    /** Retired position of HALT once the cursor has seen it. */
+    u64 halt_pos = ~u64{0};
+};
+
+std::mutex g_cache_m;
+std::map<std::string, std::unique_ptr<WorkloadCkpts>> g_cache;
+
+WorkloadCkpts &
+entryFor(const std::string &workload)
+{
+    std::lock_guard<std::mutex> lock(g_cache_m);
+    std::unique_ptr<WorkloadCkpts> &slot = g_cache[workload];
+    if (!slot) {
+        slot = std::make_unique<WorkloadCkpts>();
+        slot->prog = buildWorkload(workload);
+        slot->prog_hash = Checkpoint::programHash(slot->prog);
+        slot->cursor = std::make_unique<FunctionalCore>(slot->prog);
+    }
+    return *slot;
+}
+
+std::string
+ckptPath(const char *dir, const std::string &workload, u64 pos)
+{
+    return strprintf("%s/%s-%llu.ckpt", dir, workload.c_str(),
+                     static_cast<unsigned long long>(pos));
+}
+
+/** The checkpoint directory, created (one level) on first use.
+ *  @return nullptr when DMT_CKPT_DIR is unset. */
+const char *
+ckptDir()
+{
+    const char *dir = std::getenv("DMT_CKPT_DIR");
+    if (!dir || !*dir)
+        return nullptr;
+    ::mkdir(dir, 0755); // best-effort; EEXIST is the common case
+    return dir;
+}
+
+/**
+ * Architectural checkpoint at exactly @p pos retired instructions.
+ * Order of preference: in-memory cache, DMT_CKPT_DIR file, advancing
+ * the functional cursor (rewinding it from the nearest earlier
+ * checkpoint when a caller asks for a position behind it).
+ *
+ * @return nullptr when the program HALTs at or before @p pos; then
+ *         @p halt_pos_out receives the halt position.  @p ff_wall
+ *         accumulates host seconds spent fast-forwarding.
+ */
+std::shared_ptr<const Checkpoint>
+checkpointAt(WorkloadCkpts &e, const std::string &workload, u64 pos,
+             double *ff_wall, u64 *halt_pos_out)
+{
+    std::lock_guard<std::mutex> lock(e.m);
+    if (pos >= e.halt_pos) {
+        *halt_pos_out = e.halt_pos;
+        return nullptr;
+    }
+    auto it = e.by_pos.find(pos);
+    if (it != e.by_pos.end())
+        return it->second;
+
+    const char *dir = ckptDir();
+    if (dir) {
+        auto ck = std::make_shared<Checkpoint>();
+        std::string err;
+        if (Checkpoint::load(ckptPath(dir, workload, pos), e.prog_hash,
+                             ck.get(), &err)) {
+            DMT_ASSERT(ck->instr_count == pos,
+                       "checkpoint file position mismatch");
+            e.by_pos[pos] = ck;
+            return ck;
+        }
+    }
+
+    FunctionalCore &core = *e.cursor;
+    if (core.instrCount() > pos) {
+        // The cursor is past the request; restart it from the nearest
+        // earlier checkpoint (or the program entry).
+        auto best = e.by_pos.upper_bound(pos);
+        if (best != e.by_pos.begin()) {
+            --best;
+            const Checkpoint &from = *best->second;
+            core.restore(from.state, from.mem, from.instr_count);
+        } else {
+            core.reset();
+        }
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    while (core.instrCount() < pos && !core.halted())
+        core.run(pos - core.instrCount());
+    *ff_wall += std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    if (core.halted()) {
+        e.halt_pos = core.instrCount();
+        *halt_pos_out = e.halt_pos;
+        return nullptr;
+    }
+
+    auto ck = std::make_shared<Checkpoint>(Checkpoint::capture(core));
+    e.by_pos[pos] = ck;
+    if (dir)
+        ck->save(ckptPath(dir, workload, pos)); // best-effort (warns)
+    return ck;
+}
+
+} // namespace
+
+void
+clearCheckpointCache()
+{
+    std::lock_guard<std::mutex> lock(g_cache_m);
+    g_cache.clear();
+}
+
+RunResult
+runWorkloadSampled(const SimConfig &cfg, const std::string &workload,
+                   const SampleParams &params, u64 budget)
+{
+    DMT_ASSERT(params.enabled(),
+               "runWorkloadSampled needs a measure window");
+    if (budget == 0)
+        budget = parseEnvU64("DMT_BENCH_INSTR", 0); // 0 = whole program
+
+    WorkloadCkpts &e = entryFor(workload);
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    double ff_wall = 0.0;
+
+    RunResult r;
+    r.workload = workload;
+    r.sampling.enabled = true;
+    r.sampling.skip = params.skip;
+    r.sampling.warm = params.warm;
+    r.sampling.measure = params.measure;
+
+    std::vector<double> cpis;
+    u64 pos = 0;                    // stream position traversed
+    u64 detailed_retired = 0;       // instructions run in detail
+    bool completed = false;
+
+    while (true) {
+        if (params.max_intervals > 0
+            && r.sampling.intervals >= params.max_intervals) {
+            break;
+        }
+        if (budget > 0 && pos >= budget)
+            break;
+
+        const u64 start = pos + params.skip;
+        u64 halt_pos = 0;
+        const std::shared_ptr<const Checkpoint> ck =
+            checkpointAt(e, workload, start, &ff_wall, &halt_pos);
+        if (!ck) {
+            // Program ends inside this skip: coverage extends to HALT.
+            pos = halt_pos;
+            completed = true;
+            break;
+        }
+
+        SimConfig wcfg = cfg;
+        wcfg.warmup_retired = params.warm;
+        wcfg.max_retired = params.warm + params.measure;
+
+        DmtEngine engine(wcfg, e.prog, ck.get());
+        engine.run();
+        if (!engine.goldenOk()) {
+            panic("golden mismatch on %s (sampled window at %llu): %s",
+                  workload.c_str(), static_cast<unsigned long long>(start),
+                  engine.goldenError().c_str());
+        }
+
+        completed = engine.programCompleted();
+        const u64 win_retired = engine.retiredTotal();
+        detailed_retired += win_retired;
+        pos = start + win_retired;
+
+        // A window the program ended during warmup contributes coverage
+        // but no measurement (its stat block never detached).
+        if (engine.measurementActive()
+            && engine.stats().retired.value() > 0) {
+            const DmtStats &ws = engine.stats();
+            SampleInterval iv;
+            iv.pos = start;
+            iv.cycles = ws.cycles.value();
+            iv.retired = ws.retired.value();
+            iv.spawned = ws.threads_spawned.value();
+            iv.squashed = ws.squashed_insts.value();
+            iv.recoveries = ws.recoveries.value();
+            r.sampling.records.push_back(iv);
+            ++r.sampling.intervals;
+            r.cycles += iv.cycles;
+            r.retired += iv.retired;
+            r.stats.merge(ws);
+            cpis.push_back(static_cast<double>(iv.cycles)
+                           / static_cast<double>(iv.retired));
+        }
+        if (completed)
+            break;
+    }
+
+    const size_t n = cpis.size();
+    if (n > 0) {
+        double sum = 0.0;
+        for (double c : cpis)
+            sum += c;
+        r.sampling.cpi_mean = sum / static_cast<double>(n);
+        if (n > 1) {
+            double var = 0.0;
+            for (double c : cpis) {
+                const double d = c - r.sampling.cpi_mean;
+                var += d * d;
+            }
+            r.sampling.cpi_sd =
+                std::sqrt(var / static_cast<double>(n - 1));
+            r.sampling.cpi_ci95 = 1.96 * r.sampling.cpi_sd
+                / std::sqrt(static_cast<double>(n));
+        }
+    }
+
+    r.sampling.covered = pos;
+    r.sampling.functional_instr = pos - detailed_retired;
+    r.sampling.func_wall_s = ff_wall;
+    r.completed = completed;
+    r.ipc = r.cycles > 0 ? static_cast<double>(r.retired)
+                               / static_cast<double>(r.cycles)
+                         : 0.0;
+    r.wall_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - wall_start)
+                   .count();
+    // In sampled mode the headline throughput is stream coverage per
+    // wall second — the "paper-scale at functional speed" number.
+    r.minstr_per_s = r.wall_s > 0.0
+        ? static_cast<double>(pos) / r.wall_s / 1e6 : 0.0;
+    return r;
+}
+
+} // namespace dmt

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Interval-sampled simulation (SMARTS-style): alternate checkpointed
+ * functional fast-forward with short detailed measurement windows so a
+ * paper-scale instruction stream costs close to functional-sim speed.
+ *
+ * Each period is skip + warm + measure instructions.  The skip portion
+ * is covered by FunctionalCore fast-forward (via a process-wide
+ * checkpoint cache, so N sweep cells over the same workload pay for the
+ * prefix once); the warm portion runs detailed with statistics
+ * detached (cfg.warmup_retired) so caches, predictors and spawn tables
+ * recover from the cold start; the measure portion accumulates into
+ * the RunResult.  Per-interval CPI feeds a mean +- 95% confidence
+ * interval so the aggregate comes with an error bar.
+ *
+ * Configuration comes from DMT_SAMPLE="skip:warm:measure[:intervals]"
+ * (instruction counts; intervals bounds the number of measured windows,
+ * 0 or omitted = run to program end / budget).  DMT_CKPT_DIR names a
+ * directory where checkpoints persist across invocations.
+ */
+
+#ifndef DMT_EXP_SAMPLED_HH
+#define DMT_EXP_SAMPLED_HH
+
+#include <string>
+
+#include "exp/runner.hh"
+
+namespace dmt
+{
+
+/** Parsed DMT_SAMPLE knob. */
+struct SampleParams
+{
+    u64 skip = 0;    ///< functional fast-forward per interval
+    u64 warm = 0;    ///< detailed instructions with stats detached
+    u64 measure = 0; ///< detailed instructions measured
+    u64 max_intervals = 0; ///< 0 = unbounded
+
+    /** Sampling is active when a measurement window is configured. */
+    bool enabled() const { return measure > 0; }
+
+    /** Parse DMT_SAMPLE ("skip:warm:measure[:intervals]"); garbage is
+     *  fatal() like every other DMT_* knob.  Unset => disabled. */
+    static SampleParams fromEnv();
+};
+
+/**
+ * Run @p workload on @p cfg under interval sampling.  @p budget bounds
+ * the stream positions traversed (0 = DMT_BENCH_INSTR if set, else the
+ * whole program); sampling stops at HALT, the budget, or
+ * @p params.max_intervals, whichever comes first.
+ *
+ * The returned RunResult's cycles/retired/stats cover the measured
+ * windows only (summed across intervals); result.sampling carries the
+ * coverage bookkeeping and the CPI confidence interval.  Golden
+ * checking stays enabled inside every detailed window.
+ */
+RunResult runWorkloadSampled(const SimConfig &cfg,
+                             const std::string &workload,
+                             const SampleParams &params, u64 budget = 0);
+
+/**
+ * Drop every in-memory checkpoint (test hook; on-disk DMT_CKPT_DIR
+ * files are left alone so persistence can be exercised separately).
+ */
+void clearCheckpointCache();
+
+} // namespace dmt
+
+#endif // DMT_EXP_SAMPLED_HH

@@ -14,6 +14,8 @@ ArchState::reset(const Program &prog)
     pc = prog.entry;
     halted = false;
     output.clear();
+    out_count = 0;
+    out_hash = kOutHashInit;
 }
 
 } // namespace dmt

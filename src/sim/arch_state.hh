@@ -20,14 +20,37 @@ class Program;
 /** Architected machine state: registers, PC, halt flag, output stream. */
 struct ArchState
 {
+    /** FNV-1a offset basis: initial value of out_hash. */
+    static constexpr u64 kOutHashInit = 0xcbf29ce484222325ull;
+
     std::array<u32, kNumLogRegs> regs{};
     Addr pc = 0;
     bool halted = false;
-    /** Values emitted by the OUT instruction, in program order. */
+    /** Values emitted by the OUT instruction, in program order.  Kept
+     *  exact only while !stream_output (checker runs); a multi-million
+     *  instruction fast-forward uses streaming mode so the vector
+     *  cannot balloon memory. */
     std::vector<u32> output;
+    /** When set, OUT values update only the running hash and count
+     *  below; the exact vector stays empty. */
+    bool stream_output = false;
+    /** OUT values emitted so far (maintained in both modes). */
+    u64 out_count = 0;
+    /** FNV-1a hash over the OUT stream (maintained in both modes). */
+    u64 out_hash = kOutHashInit;
 
     /** Reset to the program's initial conditions (entry PC, stack). */
     void reset(const Program &prog);
+
+    /** Record an OUT emission under the current output mode. */
+    void
+    emitOut(u32 v)
+    {
+        if (!stream_output)
+            output.push_back(v);
+        ++out_count;
+        out_hash = (out_hash ^ v) * 0x100000001b3ull;
+    }
 
     u32
     reg(LogReg r) const

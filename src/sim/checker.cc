@@ -14,6 +14,12 @@ GoldenChecker::GoldenChecker(const Program &prog_)
     mem.loadProgram(prog);
 }
 
+GoldenChecker::GoldenChecker(const Program &prog_,
+                             const ArchState &state_, const MainMemory &mem_)
+    : prog(prog_), state(state_), mem(mem_)
+{
+}
+
 bool
 GoldenChecker::onRetire(const RetireRecord &rec)
 {

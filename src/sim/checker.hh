@@ -42,6 +42,15 @@ class GoldenChecker
     explicit GoldenChecker(const Program &prog);
 
     /**
+     * Start checking mid-stream from a checkpointed architectural
+     * state (@p state, @p mem) instead of the program's entry
+     * conditions.  The timing simulator being checked must resume from
+     * the identical snapshot.
+     */
+    GoldenChecker(const Program &prog, const ArchState &state,
+                  const MainMemory &mem);
+
+    /**
      * Verify one retired instruction.  Returns true on match; on
      * mismatch records a diagnostic (retrievable via error()) and
      * returns false.  Once a mismatch is seen the checker latches

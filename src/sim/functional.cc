@@ -181,7 +181,7 @@ functionalStep(ArchState &state, MainMemory &mem, const Program &prog)
         } else if (inst.op == Opcode::OUT) {
             r.emitted_out = true;
             r.out_val = rs_val;
-            state.output.push_back(rs_val);
+            state.emitOut(rs_val);
         }
         break;
     }
@@ -198,9 +198,13 @@ runFunctional(ArchState &state, MainMemory &mem, const Program &prog,
     u64 steps = 0;
     while (!state.halted) {
         functionalStep(state, mem, prog);
-        if (++steps >= max_steps)
-            fatal("functional run exceeded %llu steps",
+        if (++steps >= max_steps) {
+            // Throwing (not exiting) lets sweeps treat a runaway
+            // functional prefix as one failed cell, like any other
+            // contained SimError.
+            panic("functional run exceeded %llu steps",
                   static_cast<unsigned long long>(max_steps));
+        }
     }
     return steps;
 }

@@ -63,7 +63,9 @@ StepResult functionalStep(ArchState &state, MainMemory &mem,
 /**
  * Run the whole program functionally.
  *
- * @param max_steps safety bound; fatal()s when exceeded.
+ * @param max_steps safety bound; throws SimError when exceeded so
+ *        sweep cells with runaway prefixes fail as cells, not as
+ *        process exits.
  * @return executed instruction count.
  */
 u64 runFunctional(ArchState &state, MainMemory &mem, const Program &prog,

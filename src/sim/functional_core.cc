@@ -1,0 +1,132 @@
+#include "sim/functional_core.hh"
+
+#include "common/log.hh"
+#include "sim/functional.hh"
+
+namespace dmt
+{
+
+FunctionalCore::FunctionalCore(const Program &prog, bool stream_output)
+    : prog_(prog)
+{
+    decoded_.reserve(prog_.text.size());
+    for (const Instruction &inst : prog_.text) {
+        DecodedOp d;
+        d.cls = opInfo(inst.op).opClass;
+        d.mem_bytes = static_cast<u8>(inst.isMem() ? inst.memBytes() : 0);
+        d.mem_signed = inst.isLoad() && inst.memSigned();
+        d.has_dest = inst.effectiveDest() >= 0;
+        decoded_.push_back(d);
+    }
+    state_.stream_output = stream_output;
+    reset();
+}
+
+void
+FunctionalCore::reset()
+{
+    const bool stream = state_.stream_output;
+    state_.reset(prog_);
+    state_.stream_output = stream;
+    mem_.clear();
+    mem_.loadProgram(prog_);
+    instr_count_ = 0;
+}
+
+void
+FunctionalCore::restore(const ArchState &state, const MainMemory &mem,
+                        u64 instr_count)
+{
+    const bool stream = state_.stream_output;
+    state_ = state;
+    state_.stream_output = stream;
+    mem_ = mem;
+    instr_count_ = instr_count;
+}
+
+u64
+FunctionalCore::run(u64 max_instr)
+{
+    const Addr text_base = Program::kTextBase;
+    const Addr text_end = prog_.textEnd();
+    const Instruction *text = prog_.text.data();
+    const DecodedOp *dec = decoded_.data();
+
+    u64 done = 0;
+    Addr pc = state_.pc;
+    while (done < max_instr && !state_.halted) {
+        if (pc < text_base || pc >= text_end || (pc & 3) != 0) {
+            // Running off the text segment halts, like functionalStep.
+            state_.halted = true;
+            break;
+        }
+        const size_t idx = (pc - text_base) >> 2;
+        const Instruction &inst = text[idx];
+        const DecodedOp &d = dec[idx];
+        Addr next_pc = pc + 4;
+
+        const u32 rs_val = state_.reg(inst.rs);
+        const u32 rt_val = state_.reg(inst.rt);
+
+        switch (d.cls) {
+          case OpClass::IntAlu:
+          case OpClass::IntMul:
+          case OpClass::IntDiv:
+            state_.setReg(inst.rd, aluCompute(inst, rs_val, rt_val));
+            break;
+          case OpClass::MemRead: {
+              const Addr ea = (rs_val + static_cast<u32>(inst.imm))
+                  & ~static_cast<Addr>(d.mem_bytes - 1);
+              state_.setReg(inst.rd,
+                            mem_.read(ea, d.mem_bytes, d.mem_signed));
+              break;
+          }
+          case OpClass::MemWrite: {
+              const Addr ea = (rs_val + static_cast<u32>(inst.imm))
+                  & ~static_cast<Addr>(d.mem_bytes - 1);
+              mem_.write(ea, d.mem_bytes, rt_val);
+              break;
+          }
+          case OpClass::Control:
+            switch (inst.op) {
+              case Opcode::J:
+                next_pc = inst.jumpTarget();
+                break;
+              case Opcode::JAL:
+                state_.setReg(inst.rd, pc + 4);
+                next_pc = inst.jumpTarget();
+                break;
+              case Opcode::JR:
+                next_pc = rs_val;
+                break;
+              case Opcode::JALR:
+                // Read rs before the (possibly aliasing) link write.
+                next_pc = rs_val;
+                state_.setReg(inst.rd, pc + 4);
+                break;
+              default:
+                if (branchTaken(inst, rs_val, rt_val))
+                    next_pc = inst.branchTarget(pc);
+                break;
+            }
+            break;
+          case OpClass::Other:
+            if (inst.op == Opcode::HALT) {
+                state_.halted = true;
+                next_pc = pc;
+            } else if (inst.op == Opcode::OUT) {
+                state_.emitOut(rs_val);
+            }
+            break;
+        }
+
+        pc = next_pc;
+        ++done;
+    }
+
+    state_.pc = pc;
+    instr_count_ += done;
+    return done;
+}
+
+} // namespace dmt

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Batched functional (untimed) core for checkpointed fast-forward.
+ *
+ * functionalStep() is built for lock-step golden checking: it
+ * materializes a full StepResult and re-derives the opcode class and
+ * memory-access shape of every instruction on every step.  Skipping a
+ * multi-hundred-million-instruction prefix needs none of that, so
+ * FunctionalCore pre-decodes the whole text segment once into a flat
+ * side table (opcode class, access size, sign-extension, effective
+ * destination) and executes in batches with no per-step result object.
+ * Semantics stay anchored to the shared aluCompute()/branchTaken()
+ * helpers — the same single source of truth the timing engine and the
+ * golden checker use — so a fast-forwarded architectural state is
+ * bit-identical to stepping functionalStep() the same distance.
+ */
+
+#ifndef DMT_SIM_FUNCTIONAL_CORE_HH
+#define DMT_SIM_FUNCTIONAL_CORE_HH
+
+#include <vector>
+
+#include "casm/program.hh"
+#include "sim/arch_state.hh"
+#include "sim/mainmem.hh"
+
+namespace dmt
+{
+
+/** Batched functional interpreter over a pre-decoded program. */
+class FunctionalCore
+{
+  public:
+    /**
+     * Bind to @p prog (kept by reference — it must outlive the core)
+     * and reset to its initial conditions.  Fast-forward runs stream
+     * OUT values (running hash + count) by default so architectural
+     * state stays bounded; pass @p stream_output = false when a caller
+     * needs the exact OUT vector (e.g. equivalence tests).
+     */
+    explicit FunctionalCore(const Program &prog,
+                            bool stream_output = true);
+
+    /** Re-initialize to the program's entry conditions. */
+    void reset();
+
+    /**
+     * Execute up to @p max_instr instructions; stops early at HALT.
+     * @return instructions actually executed in this call.
+     */
+    u64 run(u64 max_instr);
+
+    /** Total instructions executed since reset() (checkpoint index). */
+    u64 instrCount() const { return instr_count_; }
+
+    bool halted() const { return state_.halted; }
+
+    const ArchState &state() const { return state_; }
+    const MainMemory &memory() const { return mem_; }
+    const Program &program() const { return prog_; }
+
+    /** Overwrite the architectural state (checkpoint resume). */
+    void restore(const ArchState &state, const MainMemory &mem,
+                 u64 instr_count);
+
+  private:
+    /** Pre-decoded per-instruction execution recipe. */
+    struct DecodedOp
+    {
+        OpClass cls;
+        u8 mem_bytes;     ///< 1/2/4 for loads+stores, 0 otherwise
+        bool mem_signed;  ///< sign-extending load
+        bool has_dest;    ///< writes rd
+    };
+
+    const Program &prog_;
+    std::vector<DecodedOp> decoded_;
+    ArchState state_;
+    MainMemory mem_;
+    u64 instr_count_ = 0;
+};
+
+} // namespace dmt
+
+#endif // DMT_SIM_FUNCTIONAL_CORE_HH

@@ -1,5 +1,8 @@
 #include "sim/mainmem.hh"
 
+#include <algorithm>
+#include <cstring>
+
 #include "casm/program.hh"
 #include "common/log.hh"
 
@@ -33,6 +36,45 @@ MainMemory::loadProgram(const Program &prog)
 {
     for (size_t i = 0; i < prog.data.size(); ++i)
         write8(Program::kDataBase + static_cast<Addr>(i), prog.data[i]);
+}
+
+void
+MainMemory::forEachPage(
+    const std::function<void(u32, const u8 *)> &fn) const
+{
+    std::vector<u32> indices;
+    indices.reserve(pages.size());
+    for (const auto &[idx, page] : pages)
+        indices.push_back(idx);
+    std::sort(indices.begin(), indices.end());
+    for (const u32 idx : indices)
+        fn(idx, pages.at(idx)->data());
+}
+
+void
+MainMemory::setPageRaw(u32 index, const u8 *bytes)
+{
+    auto &slot = pages[index];
+    if (!slot)
+        slot = std::make_unique<Page>(kPageSize, 0);
+    std::memcpy(slot->data(), bytes, kPageSize);
+}
+
+bool
+MainMemory::operator==(const MainMemory &other) const
+{
+    if (pages.size() != other.pages.size())
+        return false;
+    for (const auto &[idx, page] : pages) {
+        const auto it = other.pages.find(idx);
+        if (it == other.pages.end())
+            return false;
+        if (std::memcmp(page->data(), it->second->data(), kPageSize)
+            != 0) {
+            return false;
+        }
+    }
+    return true;
 }
 
 const MainMemory::Page *

@@ -9,6 +9,7 @@
 #ifndef DMT_SIM_MAINMEM_HH
 #define DMT_SIM_MAINMEM_HH
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -32,6 +33,8 @@ class MainMemory
     /** Copyable so the golden checker can fork state. */
     MainMemory(const MainMemory &other);
     MainMemory &operator=(const MainMemory &other);
+    MainMemory(MainMemory &&) = default;
+    MainMemory &operator=(MainMemory &&) = default;
 
     /** Zero everything. */
     void clear();
@@ -55,6 +58,25 @@ class MainMemory
 
     /** Number of pages currently allocated (for tests). */
     size_t numPages() const { return pages.size(); }
+
+    /**
+     * Visit every allocated page in ascending page-index order (the
+     * deterministic order checkpoints serialize in).  @p fn receives
+     * the page index and a pointer to its kPageSize bytes.
+     */
+    void forEachPage(
+        const std::function<void(u32, const u8 *)> &fn) const;
+
+    /** Install a full page's bytes at @p index (checkpoint load). */
+    void setPageRaw(u32 index, const u8 *bytes);
+
+    /**
+     * Sparse-page-exact equality: same allocated page set with
+     * byte-identical contents.  An allocated all-zero page and an
+     * absent page compare *unequal* — checkpoints must round-trip the
+     * sparse structure itself, not just the values it implies.
+     */
+    bool operator==(const MainMemory &other) const;
 
   private:
     using Page = std::vector<u8>;

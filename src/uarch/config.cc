@@ -50,6 +50,12 @@ SimConfig::validate() const
         fatal("latencies must be at least 1 cycle");
     if (audit_period < 0)
         fatal("audit_period must be >= 0");
+    if (max_retired > 0 && warmup_retired >= max_retired) {
+        fatal("warmup_retired %llu leaves no measurement window before "
+              "max_retired %llu",
+              static_cast<unsigned long long>(warmup_retired),
+              static_cast<unsigned long long>(max_retired));
+    }
     for (int i = 0; i < kNumFaultSites; ++i) {
         if (fault.rate[i] < 0.0 || fault.rate[i] > 1.0) {
             fatal("fault rate for %s out of [0, 1]: %g",
@@ -122,6 +128,7 @@ SimConfig::jsonOn(JsonWriter &w) const
     w.key("sq_size").value(sqSize());
     w.key("lat_mem").value(lat_mem);
     w.key("max_retired").value(max_retired);
+    w.key("warmup_retired").value(warmup_retired);
     w.key("watchdog_cycles").value(watchdog_cycles);
     w.key("audit_period").value(audit_period);
     w.key("fault_enabled").value(fault.enabled);

@@ -136,6 +136,17 @@ struct SimConfig
     // ---- run control ------------------------------------------------------
     /** Stop after this many finally-retired instructions (0 = none). */
     u64 max_retired = 0;
+    /**
+     * Statistics warmup window for checkpoint-resumed runs: the stat
+     * block (and the cache-hierarchy snapshot baseline) is zeroed once
+     * this many instructions have finally retired, so caches,
+     * predictors and spawn tables warm up before measurement begins.
+     * The boundary is evaluated between cycles, so up to
+     * retire_width-1 instructions of the crossing cycle count toward
+     * warmup rather than measurement.  0 measures from cycle zero (the
+     * full-run behaviour).
+     */
+    u64 warmup_retired = 0;
     /** Hard cycle bound (0 = none); exceeding it is a fatal error. */
     u64 max_cycles = 0;
     /** Verify every retired instruction against the golden model. */
