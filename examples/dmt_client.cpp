@@ -1,0 +1,343 @@
+/**
+ * @file
+ * CLI client for the simulation daemon (dmt_served).
+ *
+ *     dmt_client [--port P] [--wait S] <command> ...
+ *
+ *     ping                      round-trip check (exit 0 iff alive)
+ *     stats                     print the daemon's stats object
+ *     shutdown                  ask the daemon to drain and exit
+ *     run <workload> [k=v ...]  submit one job, print the RunResult
+ *     spec <job.json>           submit the job object from a file
+ *     batch <grid.json>         pipeline a whole grid, print a summary
+ *
+ * `run` key=value pairs: `max_retired`, `sample` (skip:warm:measure
+ * spec string) and `priority` are job-level; every other key is a
+ * config override (exactly the keys SimConfig::jsonOn() emits, plus
+ * `machine=dmt|baseline`).  Values `true`/`false` are booleans,
+ * anything else must be a number.
+ *
+ * `batch` grid files hold {"jobs":[{...job...},...]} (or a bare
+ * array).  All jobs are pipelined on one connection; the summary line
+ *
+ *     batch: jobs=N ok=N failed=0 hits=H simulated=S
+ *
+ * is stable for scripting — a second pass over the same grid must show
+ * simulated=0 when the daemon's result cache is on.
+ *
+ * --wait S retries the initial connect for S seconds, the idiom for
+ * "the daemon was just started in the background".
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+
+namespace
+{
+
+using namespace dmt;
+
+int
+die(const std::string &msg)
+{
+    std::fprintf(stderr, "dmt_client: %s\n", msg.c_str());
+    return 1;
+}
+
+bool
+readFile(const std::string &path, std::string *out, std::string *err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        *err = "cannot read " + path;
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return true;
+}
+
+/** true/false become booleans, everything else must parse as a
+ *  number — mirroring the types the protocol accepts. */
+bool
+writeScalar(JsonWriter &w, const std::string &value, std::string *err)
+{
+    if (value == "true" || value == "false") {
+        w.value(value == "true");
+        return true;
+    }
+    char *end = nullptr;
+    const double d = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+        *err = "value \"" + value + "\" is neither a boolean nor "
+            "a number";
+        return false;
+    }
+    w.value(d);
+    return true;
+}
+
+/** Build a job object from `run <workload> [k=v ...]` arguments. */
+bool
+buildJobJson(const std::vector<std::string> &args, std::string *out,
+             std::string *err)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("workload").value(std::string_view(args[0]));
+    std::vector<std::pair<std::string, std::string>> config;
+    for (size_t i = 1; i < args.size(); ++i) {
+        const size_t eq = args[i].find('=');
+        if (eq == std::string::npos) {
+            *err = "expected key=value, got \"" + args[i] + "\"";
+            return false;
+        }
+        const std::string key = args[i].substr(0, eq);
+        const std::string value = args[i].substr(eq + 1);
+        if (key == "sample") {
+            w.key("sample").value(std::string_view(value));
+        } else if (key == "max_retired" || key == "priority") {
+            w.key(key);
+            if (!writeScalar(w, value, err))
+                return false;
+        } else {
+            config.emplace_back(key, value);
+        }
+    }
+    if (!config.empty()) {
+        w.key("config").beginObject();
+        for (const auto &[key, value] : config) {
+            w.key(key);
+            if (key == "machine")
+                w.value(std::string_view(value));
+            else if (!writeScalar(w, value, err))
+                return false;
+        }
+        w.endObject();
+    }
+    w.endObject();
+    *out = w.str();
+    return true;
+}
+
+std::string
+requestLineForJob(i64 id, const std::string &job_json)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("op").value("run");
+    w.key("id").value(id);
+    w.key("job").rawValue(job_json);
+    w.endObject();
+    return w.str();
+}
+
+/** Print one run reply: the byte-exact canonical result (sliced from
+ *  the wire line, never re-serialized) on stdout, provenance
+ *  (cached/key/result_hash) on stderr.  Returns the exit status. */
+int
+printRunReply(const JsonValue &reply, const std::string &wire_line)
+{
+    const JsonValue *ok = reply.find("ok");
+    if (!ok || ok->type() != JsonValue::Type::Bool || !ok->asBool()) {
+        const JsonValue *e = reply.find("error");
+        return die("job failed: "
+                   + (e && e->type() == JsonValue::Type::String
+                          ? e->asString()
+                          : std::string("malformed reply")));
+    }
+    std::string raw;
+    if (!extractRawResult(wire_line, &raw))
+        return die("reply carries no result document");
+    std::printf("%s\n", raw.c_str());
+    const JsonValue *cached = reply.find("cached");
+    const JsonValue *key = reply.find("key");
+    const JsonValue *rh = reply.find("result_hash");
+    std::fprintf(stderr, "dmt_client: %s key=%s result_hash=%s\n",
+                 cached && cached->asBool() ? "cached" : "simulated",
+                 key ? key->asString().c_str() : "?",
+                 rh ? rh->asString().c_str() : "?");
+    return 0;
+}
+
+int
+runBatch(ServeClient &client, const std::string &path)
+{
+    std::string text, err;
+    if (!readFile(path, &text, &err))
+        return die(err);
+    JsonValue root;
+    if (!JsonValue::parse(text, &root, &err))
+        return die(path + ": " + err);
+    const JsonValue *jobs = &root;
+    if (root.type() == JsonValue::Type::Object) {
+        jobs = root.find("jobs");
+        if (!jobs)
+            return die(path + ": no \"jobs\" array");
+    }
+    if (jobs->type() != JsonValue::Type::Array)
+        return die(path + ": jobs must be an array");
+    const auto &items = jobs->elements();
+    if (items.empty())
+        return die(path + ": empty grid");
+
+    // Pipeline everything on the one connection, then collect replies
+    // (completion order) and match them back to jobs by id.
+    std::map<i64, std::string> labels;
+    for (size_t i = 0; i < items.size(); ++i) {
+        JsonWriter jw;
+        items[i].writeTo(jw);
+        const i64 id = static_cast<i64>(i);
+        const JsonValue *w = items[i].find("workload");
+        labels[id] = w && w->type() == JsonValue::Type::String
+            ? w->asString()
+            : "job" + std::to_string(i);
+        if (!client.sendLine(requestLineForJob(id, jw.str()), &err))
+            return die(err);
+    }
+
+    u64 ok_n = 0, failed = 0, hits = 0, simulated = 0;
+    for (size_t i = 0; i < items.size(); ++i) {
+        JsonValue reply;
+        if (!client.recvReply(&reply, &err))
+            return die(err);
+        const JsonValue *idv = reply.find("id");
+        const i64 id = idv && idv->type() == JsonValue::Type::Number
+            ? static_cast<i64>(idv->asNumber())
+            : -1;
+        const std::string &label = labels.count(id) ? labels[id] : "?";
+        const JsonValue *okv = reply.find("ok");
+        if (!okv || okv->type() != JsonValue::Type::Bool
+            || !okv->asBool()) {
+            const JsonValue *e = reply.find("error");
+            std::fprintf(stderr, "  %-10s FAILED: %s\n", label.c_str(),
+                         e && e->type() == JsonValue::Type::String
+                             ? e->asString().c_str()
+                             : "malformed reply");
+            ++failed;
+            continue;
+        }
+        const JsonValue *cached = reply.find("cached");
+        const bool hit = cached && cached->asBool();
+        hit ? ++hits : ++simulated;
+        ++ok_n;
+        const JsonValue *res = reply.find("result");
+        const JsonValue *ipc = res ? res->find("ipc") : nullptr;
+        const JsonValue *cyc = res ? res->find("cycles") : nullptr;
+        std::printf("  %-10s %-9s ipc %.3f  %llu cycles\n",
+                    label.c_str(), hit ? "cached" : "simulated",
+                    ipc ? ipc->asNumber() : 0.0,
+                    static_cast<unsigned long long>(
+                        cyc ? cyc->asNumber() : 0.0));
+    }
+    std::printf("batch: jobs=%zu ok=%llu failed=%llu hits=%llu "
+                "simulated=%llu\n",
+                items.size(), static_cast<unsigned long long>(ok_n),
+                static_cast<unsigned long long>(failed),
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(simulated));
+    return failed == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int port = ServeOptions::fromEnv().port;
+    double wait_s = 0.0;
+
+    int arg = 1;
+    while (arg < argc && argv[arg][0] == '-') {
+        const std::string flag = argv[arg];
+        if (flag == "--port" && arg + 1 < argc) {
+            port = std::atoi(argv[++arg]);
+        } else if (flag == "--wait" && arg + 1 < argc) {
+            wait_s = std::atof(argv[++arg]);
+        } else {
+            return die("unknown flag \"" + flag + "\" (see the file "
+                       "header for usage)");
+        }
+        ++arg;
+    }
+    if (arg >= argc)
+        return die("usage: dmt_client [--port P] [--wait S] "
+                   "ping|stats|shutdown|run|spec|batch ...");
+    const std::string cmd = argv[arg++];
+
+    ServeClient client;
+    std::string err;
+    if (!client.connect(port, &err, wait_s))
+        return die(err);
+
+    if (cmd == "ping" || cmd == "stats" || cmd == "shutdown") {
+        JsonValue reply;
+        if (!client.request(simpleRequestLine(cmd.c_str(), 0), &reply,
+                            &err))
+            return die(err);
+        JsonWriter w;
+        if (cmd == "stats") {
+            const JsonValue *stats = reply.find("stats");
+            if (!stats)
+                return die("malformed stats reply");
+            stats->writeTo(w);
+        } else {
+            reply.writeTo(w);
+        }
+        std::printf("%s\n", w.str().c_str());
+        return 0;
+    }
+
+    if (cmd == "run") {
+        std::vector<std::string> args(argv + arg, argv + argc);
+        if (args.empty())
+            return die("run needs a workload name");
+        std::string job_json;
+        if (!buildJobJson(args, &job_json, &err))
+            return die(err);
+        JsonValue reply;
+        if (!client.request(requestLineForJob(0, job_json), &reply,
+                            &err))
+            return die(err);
+        return printRunReply(reply, client.lastLine());
+    }
+
+    if (cmd == "spec") {
+        if (arg >= argc)
+            return die("spec needs a file");
+        std::string text;
+        if (!readFile(argv[arg], &text, &err))
+            return die(err);
+        JsonValue job;
+        if (!JsonValue::parse(text, &job, &err))
+            return die(std::string(argv[arg]) + ": " + err);
+        JsonWriter jw;
+        job.writeTo(jw); // newline-free re-serialization for the wire
+        JsonValue reply;
+        if (!client.request(requestLineForJob(0, jw.str()), &reply,
+                            &err))
+            return die(err);
+        return printRunReply(reply, client.lastLine());
+    }
+
+    if (cmd == "batch") {
+        if (arg >= argc)
+            return die("batch needs a grid file");
+        return runBatch(client, argv[arg]);
+    }
+
+    return die("unknown command \"" + cmd + "\"");
+}

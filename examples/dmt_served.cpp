@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The simulation daemon.  Binds 127.0.0.1 (DMT_SERVE_PORT, default
+ * 1998; 0 picks an ephemeral port), serves the line-delimited JSON
+ * protocol from src/serve/protocol.hh, and drains gracefully on
+ * SIGTERM/SIGINT or a client "shutdown" request: queued jobs run to
+ * completion and reply before the process exits.
+ *
+ *     DMT_SERVE_PORT=1998 DMT_SERVE_JOBS=4 dmt_served
+ *
+ * Scale/caching knobs (DMT_BENCH_INSTR, DMT_SAMPLE is ignored — jobs
+ * carry their own sample spec — DMT_CKPT_DIR, DMT_SERVE_CACHE) are
+ * read once at startup; see DESIGN.md §13.
+ */
+
+#include <csignal>
+#include <cstdio>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "serve/server.hh"
+
+namespace
+{
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void
+onSignal(int sig)
+{
+    g_signal = sig;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace dmt;
+
+    const ServeOptions opts = ServeOptions::fromEnv();
+    Server server(opts);
+    std::string err;
+    if (!server.start(&err)) {
+        std::fprintf(stderr, "dmt_served: %s\n", err.c_str());
+        return 1;
+    }
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    std::printf("dmt_served: listening on 127.0.0.1:%d\n",
+                server.port());
+    std::fflush(stdout);
+
+    // The acceptor/readers/workers poll their own shutdown flags; this
+    // thread only watches for a signal or a client-initiated drain.
+    while (g_signal == 0 && !server.draining())
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    if (g_signal != 0)
+        std::fprintf(stderr, "dmt_served: signal %d, draining\n",
+                     static_cast<int>(g_signal));
+    server.requestDrain();
+    server.join();
+
+    std::fprintf(stderr, "dmt_served: drained; final stats %s\n",
+                 server.statsJson().c_str());
+    return 0;
+}

@@ -20,8 +20,30 @@
 #include "common/log.hh"
 #include "common/stats.hh"
 #include "dmt/engine.hh"
+#include "exp/sampled.hh"
 #include "exp/sweep.hh"
 #include "workloads/workloads.hh"
+
+namespace
+{
+
+/** Sampled runs reuse fast-forward checkpoints across jobs; show how
+ *  well that worked.  Silent in detailed mode (all counters zero). */
+void
+reportCheckpointCache()
+{
+    const dmt::CheckpointCacheCounters c = dmt::checkpointCacheCounters();
+    if (c.mem_hits + c.disk_hits + c.builds == 0)
+        return;
+    std::fprintf(stderr,
+                 "checkpoint cache: %llu mem hit(s), %llu disk "
+                 "hit(s), %llu built\n",
+                 static_cast<unsigned long long>(c.mem_hits),
+                 static_cast<unsigned long long>(c.disk_hits),
+                 static_cast<unsigned long long>(c.builds));
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -77,6 +99,7 @@ main(int argc, char **argv)
                     "%.2f Minstr/s\n",
                     st.wall_seconds, st.busy_seconds,
                     st.parallelism(), st.throughput() / 1e6);
+        reportCheckpointCache();
         return all_ok ? 0 : 1;
     }
 

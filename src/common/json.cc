@@ -168,6 +168,15 @@ JsonWriter::value(i64 v)
 }
 
 JsonWriter &
+JsonWriter::rawValue(std::string_view json)
+{
+    DMT_ASSERT(!json.empty(), "rawValue needs a serialized value");
+    beforeValue();
+    out += json;
+    return *this;
+}
+
+JsonWriter &
 JsonWriter::nullValue()
 {
     beforeValue();

@@ -51,6 +51,16 @@ class JsonWriter
     JsonWriter &value(unsigned v) { return value(static_cast<u64>(v)); }
     JsonWriter &nullValue();
 
+    /**
+     * Splice @p json — an already-serialized JSON value — verbatim into
+     * the document.  This is how the serve layer embeds cached
+     * canonical RunResult documents into replies without a parse →
+     * re-serialize round trip (which would not be byte-identical: the
+     * parser stores numbers as doubles).  The caller guarantees
+     * @p json is one complete, valid JSON value.
+     */
+    JsonWriter &rawValue(std::string_view json);
+
     /** True once a value was written and every container is closed. */
     bool complete() const { return any && depth == 0; }
 

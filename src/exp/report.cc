@@ -5,9 +5,40 @@
 #include "common/json.hh"
 #include "common/log.hh"
 #include "common/strutil.hh"
+#include "exp/runner.hh"
+#include "uarch/config.hh"
 
 namespace dmt
 {
+
+u64
+fnv1aHash(std::string_view bytes, u64 seed)
+{
+    u64 h = seed;
+    for (const char c : bytes)
+        h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+    return h;
+}
+
+u64
+canonicalHash(const RunResult &r)
+{
+    return fnv1aHash(r.jsonString());
+}
+
+u64
+canonicalHash(const SimConfig &cfg)
+{
+    JsonWriter w;
+    cfg.jsonOn(w);
+    return fnv1aHash(w.str());
+}
+
+std::string
+hashHex(u64 h)
+{
+    return strprintf("%016llx", static_cast<unsigned long long>(h));
+}
 
 Report::Report(std::string title_, std::string paper_note_)
     : title(std::move(title_)), paper_note(std::move(paper_note_))

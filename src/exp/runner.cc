@@ -83,15 +83,31 @@ benchRunLength()
     return v > 0 ? v : 60000;
 }
 
+u64
+effectiveBudget(bool sampled, u64 max_retired)
+{
+    if (max_retired > 0)
+        return max_retired;
+    return sampled ? parseEnvU64("DMT_BENCH_INSTR", 0)
+                   : benchRunLength();
+}
+
 RunResult
 runWorkload(const SimConfig &cfg, const std::string &workload,
             u64 max_retired)
 {
     // Sampled mode (DMT_SAMPLE) reroutes the whole funnel: benches and
     // sweeps get interval sampling without knowing about it.
-    const SampleParams sp = SampleParams::fromEnv();
-    if (sp.enabled())
-        return runWorkloadSampled(cfg, workload, sp, max_retired);
+    return runWorkloadJob(cfg, workload, max_retired,
+                          SampleParams::fromEnv());
+}
+
+RunResult
+runWorkloadJob(const SimConfig &cfg, const std::string &workload,
+               u64 max_retired, const SampleParams &sample)
+{
+    if (sample.enabled())
+        return runWorkloadSampled(cfg, workload, sample, max_retired);
 
     SimConfig run_cfg = cfg;
     run_cfg.max_retired =

@@ -2,6 +2,7 @@
 
 #include <sys/stat.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
@@ -21,6 +22,51 @@
 namespace dmt
 {
 
+std::string
+SampleParams::canonicalSpec() const
+{
+    if (!enabled())
+        return "off";
+    return strprintf("%llu:%llu:%llu:%llu",
+                     static_cast<unsigned long long>(skip),
+                     static_cast<unsigned long long>(warm),
+                     static_cast<unsigned long long>(measure),
+                     static_cast<unsigned long long>(max_intervals));
+}
+
+bool
+SampleParams::parse(std::string_view spec, SampleParams *out,
+                    std::string *err)
+{
+    *out = SampleParams{};
+    if (trim(spec).empty())
+        return true; // disabled
+    const std::vector<std::string> parts = splitFields(spec, ":");
+    if (parts.size() < 3 || parts.size() > 4) {
+        if (err)
+            *err = "sample spec must be skip:warm:measure[:intervals]";
+        return false;
+    }
+    u64 v[4] = {0, 0, 0, 0};
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (!parseU64(parts[i], &v[i])) {
+            if (err)
+                *err = "bad sample spec field \"" + parts[i] + "\"";
+            return false;
+        }
+    }
+    out->skip = v[0];
+    out->warm = v[1];
+    out->measure = v[2];
+    out->max_intervals = parts.size() == 4 ? v[3] : 0;
+    if (out->measure == 0) {
+        if (err)
+            *err = "sample measure window must be > 0";
+        return false;
+    }
+    return true;
+}
+
 SampleParams
 SampleParams::fromEnv()
 {
@@ -28,23 +74,9 @@ SampleParams::fromEnv()
     const char *raw = std::getenv("DMT_SAMPLE");
     if (!raw || !*raw)
         return p;
-    const std::vector<std::string> parts = splitFields(raw, ":");
-    if (parts.size() < 3 || parts.size() > 4) {
-        fatal("DMT_SAMPLE must be skip:warm:measure[:intervals], got "
-              "\"%s\"", raw);
-    }
-    u64 v[4] = {0, 0, 0, 0};
-    for (size_t i = 0; i < parts.size(); ++i) {
-        if (!parseU64(parts[i], &v[i]))
-            fatal("bad DMT_SAMPLE field \"%s\" in \"%s\"",
-                  parts[i].c_str(), raw);
-    }
-    p.skip = v[0];
-    p.warm = v[1];
-    p.measure = v[2];
-    p.max_intervals = parts.size() == 4 ? v[3] : 0;
-    if (p.measure == 0)
-        fatal("DMT_SAMPLE measure window must be > 0 (got \"%s\")", raw);
+    std::string err;
+    if (!SampleParams::parse(raw, &p, &err))
+        fatal("DMT_SAMPLE=\"%s\": %s", raw, err.c_str());
     return p;
 }
 
@@ -71,6 +103,11 @@ struct WorkloadCkpts
 
 std::mutex g_cache_m;
 std::map<std::string, std::unique_ptr<WorkloadCkpts>> g_cache;
+
+// Shared-cache accounting (monotonic until clearCheckpointCache()).
+std::atomic<u64> g_ckpt_mem_hits{0};
+std::atomic<u64> g_ckpt_disk_hits{0};
+std::atomic<u64> g_ckpt_builds{0};
 
 WorkloadCkpts &
 entryFor(const std::string &workload)
@@ -125,8 +162,10 @@ checkpointAt(WorkloadCkpts &e, const std::string &workload, u64 pos,
         return nullptr;
     }
     auto it = e.by_pos.find(pos);
-    if (it != e.by_pos.end())
+    if (it != e.by_pos.end()) {
+        g_ckpt_mem_hits.fetch_add(1, std::memory_order_relaxed);
         return it->second;
+    }
 
     const char *dir = ckptDir();
     if (dir) {
@@ -137,6 +176,7 @@ checkpointAt(WorkloadCkpts &e, const std::string &workload, u64 pos,
             DMT_ASSERT(ck->instr_count == pos,
                        "checkpoint file position mismatch");
             e.by_pos[pos] = ck;
+            g_ckpt_disk_hits.fetch_add(1, std::memory_order_relaxed);
             return ck;
         }
     }
@@ -168,6 +208,7 @@ checkpointAt(WorkloadCkpts &e, const std::string &workload, u64 pos,
 
     auto ck = std::make_shared<Checkpoint>(Checkpoint::capture(core));
     e.by_pos[pos] = ck;
+    g_ckpt_builds.fetch_add(1, std::memory_order_relaxed);
     if (dir)
         ck->save(ckptPath(dir, workload, pos)); // best-effort (warns)
     return ck;
@@ -180,6 +221,19 @@ clearCheckpointCache()
 {
     std::lock_guard<std::mutex> lock(g_cache_m);
     g_cache.clear();
+    g_ckpt_mem_hits.store(0, std::memory_order_relaxed);
+    g_ckpt_disk_hits.store(0, std::memory_order_relaxed);
+    g_ckpt_builds.store(0, std::memory_order_relaxed);
+}
+
+CheckpointCacheCounters
+checkpointCacheCounters()
+{
+    CheckpointCacheCounters c;
+    c.mem_hits = g_ckpt_mem_hits.load(std::memory_order_relaxed);
+    c.disk_hits = g_ckpt_disk_hits.load(std::memory_order_relaxed);
+    c.builds = g_ckpt_builds.load(std::memory_order_relaxed);
+    return c;
 }
 
 RunResult

@@ -40,6 +40,23 @@ struct SampleParams
     /** Sampling is active when a measurement window is configured. */
     bool enabled() const { return measure > 0; }
 
+    /**
+     * Canonical spec string: "skip:warm:measure:intervals", or "off"
+     * when disabled.  This is the sample-spec component of the serve
+     * layer's content-addressed cache key, so it must render
+     * identically for parameter sets that behave identically.
+     */
+    std::string canonicalSpec() const;
+
+    /**
+     * Parse "skip:warm:measure[:intervals]" without touching the
+     * process: on garbage, returns false and describes the problem in
+     * @p err (job-spec parsing needs an error reply, not an exit).
+     * An empty string parses as disabled.
+     */
+    static bool parse(std::string_view spec, SampleParams *out,
+                      std::string *err);
+
     /** Parse DMT_SAMPLE ("skip:warm:measure[:intervals]"); garbage is
      *  fatal() like every other DMT_* knob.  Unset => disabled. */
     static SampleParams fromEnv();
@@ -63,8 +80,28 @@ RunResult runWorkloadSampled(const SimConfig &cfg,
 /**
  * Drop every in-memory checkpoint (test hook; on-disk DMT_CKPT_DIR
  * files are left alone so persistence can be exercised separately).
+ * Also zeroes the cache counters below.
  */
 void clearCheckpointCache();
+
+/**
+ * Process-lifetime accounting for the shared checkpoint cache.  A
+ * sampled window first looks for its start checkpoint in memory
+ * (mem_hits), then on disk under DMT_CKPT_DIR (disk_hits), and only
+ * then pays for functional fast-forward to build one (builds).  The
+ * daemon reports these in its `stats` reply and the local harness
+ * mains print them in their stderr summaries, so warm-cache behaviour
+ * is visible in both deployments.
+ */
+struct CheckpointCacheCounters
+{
+    u64 mem_hits = 0;
+    u64 disk_hits = 0;
+    u64 builds = 0;
+};
+
+/** Snapshot of the shared checkpoint-cache counters. */
+CheckpointCacheCounters checkpointCacheCounters();
 
 } // namespace dmt
 

@@ -1,0 +1,98 @@
+#include "serve/cache.hh"
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "exp/report.hh"
+#include "exp/sampled.hh"
+#include "uarch/config.hh"
+
+namespace dmt
+{
+
+u64
+resultCacheKey(const SimConfig &cfg, u64 prog_hash,
+               const SampleParams &sample)
+{
+    JsonWriter w;
+    cfg.jsonOn(w);
+    u64 h = fnv1aHash(w.str());
+    h = fnv1aHash("|", h);
+    h = fnv1aHash(hashHex(prog_hash), h);
+    h = fnv1aHash("|", h);
+    h = fnv1aHash(sample.canonicalSpec(), h);
+    return h;
+}
+
+ResultCache::ResultCache(size_t max_entries) : max_entries_(max_entries)
+{
+    ctr_.capacity = max_entries;
+}
+
+ResultCache::Outcome
+ResultCache::getOrCompute(u64 key,
+                          const std::function<ComputedResult()> &compute)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    std::shared_ptr<Flight> flight;
+    for (;;) {
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            // Promote to most-recent and serve the stored bytes.
+            lru_.splice(lru_.begin(), lru_, it->second);
+            ++ctr_.hits;
+            const ComputedResult &res = it->second->second;
+            return Outcome{true, true, false, res.json, res.hash, ""};
+        }
+        auto fit = inflight_.find(key);
+        if (fit == inflight_.end())
+            break;
+        // Single-flight join: another request is computing this key.
+        flight = fit->second;
+        ++ctr_.joins;
+        cv_.wait(lk, [&] { return flight->done; });
+        const ComputedResult &res = flight->res;
+        return Outcome{res.ok, true, true, res.json, res.hash,
+                       res.error};
+    }
+
+    flight = std::make_shared<Flight>();
+    inflight_[key] = flight;
+    ++ctr_.misses;
+    lk.unlock();
+
+    ComputedResult res;
+    try {
+        res = compute();
+    } catch (const SimError &err) {
+        res = ComputedResult{};
+        res.error = err.what();
+    }
+
+    lk.lock();
+    if (res.ok && max_entries_ > 0) {
+        lru_.emplace_front(key, res);
+        map_[key] = lru_.begin();
+        while (lru_.size() > max_entries_) {
+            map_.erase(lru_.back().first);
+            lru_.pop_back();
+            ++ctr_.evictions;
+        }
+    }
+    ctr_.entries = lru_.size();
+    flight->res = res;
+    flight->done = true;
+    inflight_.erase(key);
+    cv_.notify_all();
+    return Outcome{res.ok, false, false, res.json, res.hash, res.error};
+}
+
+ResultCache::Counters
+ResultCache::counters() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    Counters c = ctr_;
+    c.entries = lru_.size();
+    return c;
+}
+
+} // namespace dmt

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Content-addressed result cache with single-flight deduplication.
+ *
+ * Identity: a result is addressed by FNV-1a over the canonical
+ * machine-configuration JSON (budget included), the program-image
+ * hash of the workload, and the canonical sample spec — exactly the
+ * inputs the deterministic engine's output depends on.  Because runs
+ * are bit-reproducible (DESIGN.md section 10), a cache hit *is* the
+ * simulation: the stored canonical RunResult JSON is byte-identical
+ * to what re-running would produce.
+ *
+ * Single-flight: when N requests for the same key arrive while none
+ * is cached, exactly one computes; the rest block on the in-flight
+ * entry and receive the same bytes.  Errors (SimError) propagate to
+ * every waiter but are never cached — a later identical request
+ * retries.
+ *
+ * Eviction is LRU over a bounded entry count (DMT_SERVE_CACHE); the
+ * values are strings, so memory is roughly entries x canonical-JSON
+ * size (a few KB each).
+ */
+
+#ifndef DMT_SERVE_CACHE_HH
+#define DMT_SERVE_CACHE_HH
+
+#include <condition_variable>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace dmt
+{
+
+struct SampleParams;
+struct SimConfig;
+
+/**
+ * The cache key for (machine cfg incl. budget, program image, sample
+ * spec).  @p prog_hash is Checkpoint::programHash() of the workload's
+ * built image, so two workload names with identical programs share
+ * results and a changed generator invalidates naturally.
+ */
+u64 resultCacheKey(const SimConfig &cfg, u64 prog_hash,
+                   const SampleParams &sample);
+
+/** What a compute function returns / a cache entry stores. */
+struct ComputedResult
+{
+    bool ok = false;
+    std::string json;     ///< canonical RunResult document
+    u64 hash = 0;         ///< fnv1aHash(json)
+    std::string error;    ///< SimError message when !ok
+};
+
+/** Bounded LRU result cache with single-flight dedup. */
+class ResultCache
+{
+  public:
+    /** @param max_entries 0 disables storage (dedup still applies). */
+    explicit ResultCache(size_t max_entries);
+
+    struct Outcome
+    {
+        bool ok = false;
+        /** Served without running a simulation in this request —
+         *  either a stored entry (hit) or a single-flight join. */
+        bool cached = false;
+        bool joined = false; ///< waited on another request's compute
+        std::string json;
+        u64 hash = 0;
+        std::string error;
+    };
+
+    /**
+     * Return the entry for @p key, computing it with @p compute if
+     * absent.  @p compute runs outside the cache lock; a SimError it
+     * throws is captured into a failed Outcome (and delivered to any
+     * waiters joined on this flight).
+     */
+    Outcome getOrCompute(u64 key,
+                         const std::function<ComputedResult()> &compute);
+
+    struct Counters
+    {
+        u64 hits = 0;       ///< served from storage
+        u64 misses = 0;     ///< computed by this request
+        u64 joins = 0;      ///< served by another request's compute
+        u64 evictions = 0;
+        u64 entries = 0;    ///< current stored entries
+        u64 capacity = 0;
+
+        double
+        hitRate() const
+        {
+            const u64 lookups = hits + misses + joins;
+            return lookups > 0
+                ? static_cast<double>(hits + joins)
+                      / static_cast<double>(lookups)
+                : 0.0;
+        }
+    };
+    Counters counters() const;
+
+  private:
+    struct Flight
+    {
+        bool done = false;
+        ComputedResult res;
+    };
+
+    using LruList = std::list<std::pair<u64, ComputedResult>>;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    size_t max_entries_;
+    LruList lru_; ///< front = most recently used
+    std::unordered_map<u64, LruList::iterator> map_;
+    std::unordered_map<u64, std::shared_ptr<Flight>> inflight_;
+    Counters ctr_;
+};
+
+} // namespace dmt
+
+#endif // DMT_SERVE_CACHE_HH

@@ -1,0 +1,155 @@
+#include "serve/client.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace dmt
+{
+
+namespace
+{
+
+int
+connectOnce(int port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace
+
+ServeClient::~ServeClient()
+{
+    close();
+}
+
+void
+ServeClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    rxbuf_.clear();
+}
+
+bool
+ServeClient::connect(int port, std::string *err, double retry_s)
+{
+    close();
+    const auto deadline = std::chrono::steady_clock::now()
+        + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(retry_s));
+    for (;;) {
+        fd_ = connectOnce(port);
+        if (fd_ >= 0)
+            return true;
+        if (std::chrono::steady_clock::now() >= deadline)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (err)
+        *err = "connect 127.0.0.1:" + std::to_string(port) + ": "
+            + std::strerror(errno);
+    return false;
+}
+
+bool
+ServeClient::sendLine(const std::string &line, std::string *err)
+{
+    if (fd_ < 0) {
+        if (err)
+            *err = "not connected";
+        return false;
+    }
+    const std::string out = line + "\n";
+    const char *p = out.data();
+    size_t n = out.size();
+    while (n > 0) {
+        const ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            if (err)
+                *err = std::string("send: ") + std::strerror(errno);
+            return false;
+        }
+        p += w;
+        n -= static_cast<size_t>(w);
+    }
+    return true;
+}
+
+bool
+ServeClient::recvLine(std::string *line, std::string *err)
+{
+    if (fd_ < 0) {
+        if (err)
+            *err = "not connected";
+        return false;
+    }
+    for (;;) {
+        const size_t nl = rxbuf_.find('\n');
+        if (nl != std::string::npos) {
+            *line = rxbuf_.substr(0, nl);
+            rxbuf_.erase(0, nl + 1);
+            return true;
+        }
+        char chunk[4096];
+        const ssize_t r = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (r == 0) {
+            if (err)
+                *err = "server closed the connection";
+            return false;
+        }
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            if (err)
+                *err = std::string("recv: ") + std::strerror(errno);
+            return false;
+        }
+        rxbuf_.append(chunk, static_cast<size_t>(r));
+    }
+}
+
+bool
+ServeClient::recvReply(JsonValue *reply, std::string *err)
+{
+    if (!recvLine(&last_line_, err))
+        return false;
+    std::string perr;
+    if (!JsonValue::parse(last_line_, reply, &perr)) {
+        if (err)
+            *err = "bad reply JSON: " + perr;
+        return false;
+    }
+    return true;
+}
+
+bool
+ServeClient::request(const std::string &line, JsonValue *reply,
+                     std::string *err)
+{
+    return sendLine(line, err) && recvReply(reply, err);
+}
+
+} // namespace dmt

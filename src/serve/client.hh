@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Client side of the simulation service: a thin blocking connection
+ * speaking the line-delimited JSON protocol (serve/protocol.hh).
+ * Requests can be pipelined — send many lines, then collect replies;
+ * the server answers in completion order, matching on "id".
+ */
+
+#ifndef DMT_SERVE_CLIENT_HH
+#define DMT_SERVE_CLIENT_HH
+
+#include <string>
+#include <utility>
+
+#include "common/json.hh"
+
+namespace dmt
+{
+
+/** A blocking protocol connection to a dmt_served daemon. */
+class ServeClient
+{
+  public:
+    ServeClient() = default;
+    ~ServeClient();
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+    ServeClient(ServeClient &&other) noexcept { *this = std::move(other); }
+    ServeClient &
+    operator=(ServeClient &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+            rxbuf_ = std::move(other.rxbuf_);
+            last_line_ = std::move(other.last_line_);
+        }
+        return *this;
+    }
+
+    /**
+     * Connect to 127.0.0.1:@p port.  When @p retry_s > 0, connection
+     * refusal is retried until the deadline — the idiom for "the
+     * daemon was just forked, wait for it to listen".
+     * @retval false with @p err set on failure.
+     */
+    bool connect(int port, std::string *err, double retry_s = 0.0);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** Send one request line (newline appended). */
+    bool sendLine(const std::string &line, std::string *err);
+
+    /** Block for the next raw reply line (no trailing newline). */
+    bool recvLine(std::string *line, std::string *err);
+
+    /** Block for the next reply line and parse it. */
+    bool recvReply(JsonValue *reply, std::string *err);
+
+    /** The raw bytes of the last reply recvReply() parsed — the thing
+     *  to hand extractRawResult() for byte-exact result comparison. */
+    const std::string &lastLine() const { return last_line_; }
+
+    /** sendLine + recvReply for the lock-step (non-pipelined) case. */
+    bool request(const std::string &line, JsonValue *reply,
+                 std::string *err);
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string rxbuf_;
+    std::string last_line_;
+};
+
+} // namespace dmt
+
+#endif // DMT_SERVE_CLIENT_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Wire protocol for the simulation service: line-delimited JSON over a
+ * local TCP socket.  One request per line, one reply per request; the
+ * server may interleave replies from one connection's requests in
+ * completion order, so every request carries a client-chosen "id" that
+ * the reply echoes back.
+ *
+ * Requests:
+ *
+ *   {"op":"run","id":1,"job":{"workload":"go","max_retired":60000,
+ *       "sample":"20000:500:1500:5","priority":2,
+ *       "config":{"machine":"dmt","max_threads":6,"fetch_ports":2}}}
+ *   {"op":"stats","id":2}
+ *   {"op":"ping","id":3}
+ *   {"op":"shutdown","id":4}
+ *
+ * Replies:
+ *
+ *   {"id":1,"ok":true,"cached":false,"key":"<16-hex>",
+ *       "result_hash":"<16-hex>","result":{...canonical RunResult...}}
+ *   {"id":1,"ok":false,"error":"..."}
+ *   {"id":2,"ok":true,"stats":{...}}
+ *
+ * The embedded "result" document is the *byte-exact* canonical
+ * RunResult JSON (spliced with JsonWriter::rawValue, never re-parsed),
+ * and "result_hash" is its FNV-1a digest — so a client can prove a
+ * cached answer is identical to a freshly computed or locally run one
+ * without trusting the cache.
+ *
+ * Everything here parses without side effects: a malformed request, an
+ * unknown workload or an out-of-range configuration produces an error
+ * string for an error *reply* — never the fatal() exit the CLI tools
+ * use, which would take the daemon down with the request.
+ */
+
+#ifndef DMT_SERVE_PROTOCOL_HH
+#define DMT_SERVE_PROTOCOL_HH
+
+#include <string>
+#include <string_view>
+
+#include "common/json.hh"
+#include "exp/sampled.hh"
+#include "uarch/config.hh"
+
+namespace dmt
+{
+
+/** One simulation request, fully resolved and validated. */
+struct JobSpec
+{
+    std::string workload;  ///< a workloadSuite() name
+    SimConfig cfg;         ///< machine; cfg.max_retired == budget
+    /** Resolved retirement budget (effectiveBudget() already applied,
+     *  so identical effective requests share one cache key). */
+    u64 max_retired = 0;
+    SampleParams sample;   ///< job-level sampling (env is ignored)
+    i64 priority = 0;      ///< larger = scheduled sooner
+};
+
+/** A parsed client request. */
+struct Request
+{
+    enum class Op { Run, Stats, Ping, Shutdown };
+    Op op = Op::Ping;
+    /** Echoed back in the reply; Null when the client sent none. */
+    JsonValue id;
+    JobSpec job;           ///< populated when op == Run
+};
+
+/**
+ * Parse and validate one request line.
+ * @retval false with a description in @p err (when given); the caller
+ * turns that into an error reply.
+ */
+bool parseRequest(std::string_view line, Request *out, std::string *err);
+
+/**
+ * Apply a job-spec "config" override object onto @p cfg.  Accepts
+ * exactly the keys SimConfig::jsonOn() emits (minus the run-control
+ * and fault block), so a recorded config document can be replayed as
+ * an override.  Unknown keys, wrong types and values that would trip
+ * SimConfig::validate() — which fatal()s, unacceptable in a daemon —
+ * are rejected through @p err instead.
+ */
+bool applyConfigOverrides(SimConfig *cfg, const JsonValue &obj,
+                          std::string *err);
+
+/**
+ * The daemon-side validity check mirroring SimConfig::validate()'s
+ * constraints (plus suite-membership for @p workload) as a rejection
+ * instead of an exit.  Every job must pass this before it can reach a
+ * DmtEngine constructor.
+ */
+bool checkJobSpec(const JobSpec &job, std::string *err);
+
+/** Serialize @p job as the protocol's "job" object. */
+void jobSpecJsonOn(JsonWriter &w, const JobSpec &job);
+
+/** Build a complete "run" request line (no trailing newline). */
+std::string runRequestLine(i64 id, const JobSpec &job);
+
+/** Build a bare {"op":...,"id":N} request line. */
+std::string simpleRequestLine(const char *op, i64 id);
+
+// ---- reply builders (no trailing newline) ------------------------------
+
+std::string errorReply(const JsonValue &id, const std::string &message);
+
+/** Success reply for a run; @p result_json is spliced verbatim. */
+std::string okRunReply(const JsonValue &id, std::string_view result_json,
+                       u64 key, u64 result_hash, bool cached);
+
+std::string pongReply(const JsonValue &id);
+
+/**
+ * Slice the byte-exact "result" document out of an okRunReply() line.
+ * Relies on "result" being the reply's final member — a property of our
+ * reply builder, not of JSON — so clients and tests can compare the
+ * canonical bytes without a lossy parse→dump round trip.
+ * @retval false when @p reply_line is not a successful run reply.
+ */
+bool extractRawResult(std::string_view reply_line, std::string *out);
+
+} // namespace dmt
+
+#endif // DMT_SERVE_PROTOCOL_HH

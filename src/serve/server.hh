@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The persistent simulation daemon: a local TCP front-end that turns
+ * the deterministic runWorkload() funnel into a shared service.
+ *
+ * Architecture (one process):
+ *
+ *   acceptor thread ──► per-connection reader threads
+ *                          │  parse line-delimited JSON requests
+ *                          │  (protocol.hh); stats/ping answered
+ *                          │  inline, run requests enqueued
+ *                          ▼
+ *                    priority job queue (larger priority first,
+ *                          FIFO within a priority level)
+ *                          ▼
+ *                    worker pool (DMT_SERVE_JOBS, default the sweep
+ *                          width) ──► ResultCache::getOrCompute
+ *                          ──► reply on the requesting connection
+ *
+ * Replies carry the byte-exact canonical RunResult JSON; the result
+ * cache plus the process-wide checkpoint cache (exp/sampled) make
+ * repeated cells free and warm sampled requests skip fast-forward.
+ *
+ * Lifecycle: requestDrain() (SIGTERM/SIGINT in dmt_served, or a
+ * client "shutdown" request) stops accepting connections and reading
+ * new requests; already-queued jobs run to completion and reply;
+ * join() waits for that up to the drain timeout, after which any
+ * still-queued jobs get structured "draining" error replies.  A job
+ * that dies with SimError (watchdog, invariant audit, golden
+ * mismatch) becomes an error reply, never a daemon exit — the same
+ * containment contract SweepRunner gives sweeps.
+ */
+
+#ifndef DMT_SERVE_SERVER_HH
+#define DMT_SERVE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/cache.hh"
+#include "serve/protocol.hh"
+
+namespace dmt
+{
+
+/** Daemon configuration, from the DMT_SERVE_* environment knobs. */
+struct ServeOptions
+{
+    /** Listening port on 127.0.0.1; 0 picks an ephemeral port
+     *  (reported by Server::port()).  Default 1998 — the paper's
+     *  publication year. */
+    int port = 1998;
+    /** Worker pool width; 0 = sweepJobs() (DMT_JOBS / hardware). */
+    int pool = 0;
+    /** Result-cache capacity in entries; 0 disables storage
+     *  (single-flight dedup stays on). */
+    u64 cache_entries = 4096;
+    /** Seconds join() waits for queued jobs after a drain request
+     *  before failing them with "draining" replies. */
+    double drain_s = 30.0;
+
+    /** Strict parse of DMT_SERVE_PORT / DMT_SERVE_JOBS /
+     *  DMT_SERVE_CACHE / DMT_SERVE_DRAIN_S; garbage is fatal() like
+     *  every other DMT_* knob. */
+    static ServeOptions fromEnv();
+};
+
+/** The daemon.  Construct, start(), eventually requestDrain()+join(). */
+class Server
+{
+  public:
+    explicit Server(const ServeOptions &opts);
+    ~Server();
+
+    /** Bind 127.0.0.1, spawn acceptor + workers.
+     *  @retval false with @p err set when the socket setup fails. */
+    bool start(std::string *err);
+
+    /** The bound port (after start(); useful with opts.port == 0). */
+    int port() const { return port_; }
+
+    /** True once a drain was requested (signal, client shutdown). */
+    bool draining() const { return draining_.load(); }
+
+    /** Begin graceful shutdown; idempotent, callable from any thread. */
+    void requestDrain();
+
+    /** Wait for the drain to complete and every thread to exit.
+     *  Returns immediately if start() never succeeded. */
+    void join();
+
+    /** Lifetime request/job/cache accounting as a JSON object (the
+     *  body of the "stats" reply). */
+    std::string statsJson() const;
+
+    /** Simulations actually executed (cache misses that ran). */
+    u64 jobsSimulated() const { return jobs_simulated_.load(); }
+
+  private:
+    struct Conn
+    {
+        int fd = -1;
+        std::mutex write_mu;
+        ~Conn();
+    };
+
+    struct QueuedJob
+    {
+        std::shared_ptr<Conn> conn;
+        JsonValue id;
+        JobSpec spec;
+        u64 key = 0;
+        u64 seq = 0;
+    };
+
+    /** Max-heap order: higher priority first, then submission order. */
+    struct JobWorse
+    {
+        bool
+        operator()(const std::shared_ptr<QueuedJob> &a,
+                   const std::shared_ptr<QueuedJob> &b) const
+        {
+            if (a->spec.priority != b->spec.priority)
+                return a->spec.priority < b->spec.priority;
+            return a->seq > b->seq;
+        }
+    };
+
+    void acceptLoop();
+    void connLoop(std::shared_ptr<Conn> conn);
+    void workerLoop();
+    void handleLine(const std::shared_ptr<Conn> &conn,
+                    std::string_view line);
+    void sendReply(const std::shared_ptr<Conn> &conn,
+                   const std::string &body);
+    u64 programHashFor(const std::string &workload);
+
+    ServeOptions opts_;
+    ResultCache cache_;
+    int listen_fd_ = -1;
+    int port_ = 0;
+    bool started_ = false;
+    std::atomic<bool> draining_{false};
+
+    std::thread acceptor_;
+    std::vector<std::thread> workers_;
+    std::mutex readers_mu_;
+    std::vector<std::thread> readers_;
+
+    mutable std::mutex queue_mu_;
+    std::condition_variable queue_cv_;   ///< work available / draining
+    std::condition_variable drained_cv_; ///< queue empty, workers idle
+    std::priority_queue<std::shared_ptr<QueuedJob>,
+                        std::vector<std::shared_ptr<QueuedJob>>,
+                        JobWorse>
+        queue_;
+    u64 next_seq_ = 0;
+    int active_jobs_ = 0;
+
+    std::mutex prog_mu_;
+    std::unordered_map<std::string, u64> prog_hash_;
+
+    std::chrono::steady_clock::time_point start_time_;
+    std::atomic<u64> requests_{0};
+    std::atomic<u64> bad_requests_{0};
+    std::atomic<u64> jobs_simulated_{0};
+    std::atomic<u64> jobs_failed_{0};
+    std::atomic<u64> jobs_rejected_{0}; ///< drain-timeout failures
+    std::atomic<u64> busy_us_{0};       ///< summed job wall clock
+};
+
+} // namespace dmt
+
+#endif // DMT_SERVE_SERVER_HH

@@ -13,6 +13,7 @@
 
 #include "common/env.hh"
 #include "exp/runner.hh"
+#include "serve/server.hh"
 
 namespace dmt
 {
@@ -133,6 +134,71 @@ TEST(BenchRunLengthDeath, TrailingGarbageIsFatal)
     setenv("DMT_BENCH_INSTR", "60000x", 1);
     EXPECT_DEATH(benchRunLength(), "DMT_BENCH_INSTR");
     unsetenv("DMT_BENCH_INSTR");
+}
+
+namespace
+{
+
+void
+clearServeEnv()
+{
+    unsetenv("DMT_SERVE_PORT");
+    unsetenv("DMT_SERVE_JOBS");
+    unsetenv("DMT_SERVE_CACHE");
+    unsetenv("DMT_SERVE_DRAIN_S");
+}
+
+} // namespace
+
+TEST(ServeEnv, DefaultsWhenUnset)
+{
+    clearServeEnv();
+    const ServeOptions o = ServeOptions::fromEnv();
+    EXPECT_EQ(o.port, 1998);
+    EXPECT_EQ(o.pool, 0) << "0 = sweep pool width";
+    EXPECT_EQ(o.cache_entries, 4096u);
+    EXPECT_DOUBLE_EQ(o.drain_s, 30.0);
+}
+
+TEST(ServeEnv, ReadsValidValues)
+{
+    setenv("DMT_SERVE_PORT", "0", 1);
+    setenv("DMT_SERVE_JOBS", "4", 1);
+    setenv("DMT_SERVE_CACHE", "0", 1);
+    setenv("DMT_SERVE_DRAIN_S", "1.5", 1);
+    const ServeOptions o = ServeOptions::fromEnv();
+    EXPECT_EQ(o.port, 0) << "0 = ephemeral port";
+    EXPECT_EQ(o.pool, 4);
+    EXPECT_EQ(o.cache_entries, 0u) << "0 = storage off, dedup on";
+    EXPECT_DOUBLE_EQ(o.drain_s, 1.5);
+    clearServeEnv();
+}
+
+TEST(ServeEnvDeath, GarbageIsFatal)
+{
+    clearServeEnv();
+    setenv("DMT_SERVE_PORT", "http", 1);
+    EXPECT_DEATH(ServeOptions::fromEnv(), "DMT_SERVE_PORT");
+    setenv("DMT_SERVE_PORT", "1998x", 1);
+    EXPECT_DEATH(ServeOptions::fromEnv(), "DMT_SERVE_PORT");
+    unsetenv("DMT_SERVE_PORT");
+    setenv("DMT_SERVE_DRAIN_S", "soon", 1);
+    EXPECT_DEATH(ServeOptions::fromEnv(), "DMT_SERVE_DRAIN_S");
+    clearServeEnv();
+}
+
+TEST(ServeEnvDeath, RangeIsEnforced)
+{
+    clearServeEnv();
+    setenv("DMT_SERVE_PORT", "70000", 1);
+    EXPECT_DEATH(ServeOptions::fromEnv(), "out of range");
+    unsetenv("DMT_SERVE_PORT");
+    setenv("DMT_SERVE_JOBS", "5000", 1);
+    EXPECT_DEATH(ServeOptions::fromEnv(), "out of range");
+    unsetenv("DMT_SERVE_JOBS");
+    setenv("DMT_SERVE_DRAIN_S", "-1", 1);
+    EXPECT_DEATH(ServeOptions::fromEnv(), "out of range");
+    clearServeEnv();
 }
 
 } // namespace

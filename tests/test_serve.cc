@@ -1,0 +1,548 @@
+/**
+ * @file
+ * The simulation service, bottom-up: canonical hashing (the cache-key
+ * and identity-proof primitive), job-spec sample parsing, the wire
+ * protocol's strict no-fatal() validation, the content-addressed
+ * result cache with single-flight dedup, and finally a live daemon on
+ * an ephemeral port proving the headline contract — cached, queued and
+ * freshly computed answers are byte-identical to direct runWorkload()
+ * calls.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/report.hh"
+#include "exp/runner.hh"
+#include "exp/sampled.hh"
+#include "serve/cache.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "uarch/config.hh"
+
+namespace dmt
+{
+namespace
+{
+
+constexpr u64 kBudget = 2000; // instructions: keeps every run ~ms
+
+SimConfig
+smallDmt()
+{
+    SimConfig cfg = SimConfig::dmt(2, 2);
+    cfg.max_retired = kBudget;
+    return cfg;
+}
+
+JobSpec
+smallJob(const std::string &workload = "go")
+{
+    JobSpec job;
+    job.workload = workload;
+    job.cfg = smallDmt();
+    job.max_retired = kBudget;
+    return job;
+}
+
+// ---- canonical hashing -------------------------------------------------
+
+TEST(CanonicalHash, FnvPrimitives)
+{
+    EXPECT_EQ(fnv1aHash(""), kFnvBasis);
+    EXPECT_NE(fnv1aHash("a"), fnv1aHash("b"));
+    EXPECT_NE(fnv1aHash("ab"), fnv1aHash("ba")) << "order matters";
+    // Chaining two pieces equals hashing the concatenation.
+    EXPECT_EQ(fnv1aHash("cd", fnv1aHash("ab")), fnv1aHash("abcd"));
+    EXPECT_EQ(hashHex(0).size(), 16u);
+    EXPECT_EQ(hashHex(0xdeadbeefull), "00000000deadbeef");
+}
+
+TEST(CanonicalHash, RunsAreReproducible)
+{
+    const RunResult a =
+        runWorkloadJob(smallDmt(), "go", kBudget, SampleParams{});
+    const RunResult b =
+        runWorkloadJob(smallDmt(), "go", kBudget, SampleParams{});
+    EXPECT_EQ(a.jsonString(), b.jsonString());
+    EXPECT_EQ(canonicalHash(a), canonicalHash(b));
+}
+
+TEST(CanonicalHash, HostTimingIsExcluded)
+{
+    RunResult a =
+        runWorkloadJob(smallDmt(), "go", kBudget, SampleParams{});
+    RunResult b = a;
+    b.wall_s = a.wall_s + 123.0;
+    b.minstr_per_s = a.minstr_per_s + 9.0;
+    b.sampling.func_wall_s = 77.0;
+    EXPECT_EQ(canonicalHash(a), canonicalHash(b))
+        << "nondeterministic host timing must not change the digest";
+    b.cycles += 1;
+    EXPECT_NE(canonicalHash(a), canonicalHash(b));
+}
+
+TEST(CanonicalHash, ConfigIdentity)
+{
+    EXPECT_EQ(canonicalHash(smallDmt()), canonicalHash(smallDmt()));
+    SimConfig other = smallDmt();
+    other.max_threads = 4;
+    EXPECT_NE(canonicalHash(smallDmt()), canonicalHash(other));
+    other = smallDmt();
+    other.max_retired = kBudget + 1;
+    EXPECT_NE(canonicalHash(smallDmt()), canonicalHash(other))
+        << "the budget is part of the machine identity";
+}
+
+// ---- sample-spec parsing ----------------------------------------------
+
+TEST(SampleSpec, ParsesAndCanonicalizes)
+{
+    SampleParams p;
+    std::string err;
+    ASSERT_TRUE(SampleParams::parse("1000:100:200", &p, &err)) << err;
+    EXPECT_EQ(p.skip, 1000u);
+    EXPECT_EQ(p.warm, 100u);
+    EXPECT_EQ(p.measure, 200u);
+    EXPECT_EQ(p.max_intervals, 0u);
+    EXPECT_TRUE(p.enabled());
+    EXPECT_EQ(p.canonicalSpec(), "1000:100:200:0");
+
+    ASSERT_TRUE(SampleParams::parse("1000:100:200:5", &p, &err));
+    EXPECT_EQ(p.max_intervals, 5u);
+    EXPECT_EQ(p.canonicalSpec(), "1000:100:200:5");
+
+    ASSERT_TRUE(SampleParams::parse("", &p, &err)) << "empty = off";
+    EXPECT_FALSE(p.enabled());
+    EXPECT_EQ(p.canonicalSpec(), "off");
+}
+
+TEST(SampleSpec, RejectsGarbage)
+{
+    SampleParams p;
+    std::string err;
+    EXPECT_FALSE(SampleParams::parse("1000:100", &p, &err));
+    EXPECT_FALSE(SampleParams::parse("1:2:3:4:5", &p, &err));
+    EXPECT_FALSE(SampleParams::parse("a:b:c", &p, &err));
+    EXPECT_FALSE(SampleParams::parse("1000:100:0", &p, &err))
+        << "a zero measure window samples nothing";
+}
+
+// ---- protocol ----------------------------------------------------------
+
+TEST(Protocol, RunRequestRoundTrips)
+{
+    JobSpec job = smallJob();
+    job.priority = 5;
+    const std::string line = runRequestLine(7, job);
+
+    Request req;
+    std::string err;
+    ASSERT_TRUE(parseRequest(line, &req, &err)) << err;
+    EXPECT_EQ(req.op, Request::Op::Run);
+    ASSERT_EQ(req.id.type(), JsonValue::Type::Number);
+    EXPECT_EQ(req.id.asNumber(), 7.0);
+    EXPECT_EQ(req.job.workload, "go");
+    EXPECT_EQ(req.job.max_retired, kBudget);
+    EXPECT_EQ(req.job.priority, 5);
+    EXPECT_FALSE(req.job.sample.enabled());
+    EXPECT_EQ(canonicalHash(req.job.cfg), canonicalHash(job.cfg))
+        << "replaying a recorded config must rebuild the same machine";
+}
+
+TEST(Protocol, SimpleOpsParse)
+{
+    Request req;
+    std::string err;
+    ASSERT_TRUE(parseRequest(simpleRequestLine("ping", 1), &req, &err));
+    EXPECT_EQ(req.op, Request::Op::Ping);
+    ASSERT_TRUE(parseRequest(simpleRequestLine("stats", 2), &req, &err));
+    EXPECT_EQ(req.op, Request::Op::Stats);
+    ASSERT_TRUE(
+        parseRequest(simpleRequestLine("shutdown", 3), &req, &err));
+    EXPECT_EQ(req.op, Request::Op::Shutdown);
+}
+
+TEST(Protocol, RejectsWithoutExiting)
+{
+    Request req;
+    std::string err;
+    const char *bad[] = {
+        "not json at all",
+        "[1,2,3]",
+        "{\"id\":1}",
+        "{\"op\":\"frobnicate\",\"id\":1}",
+        "{\"op\":\"run\",\"id\":1}",
+        "{\"op\":\"run\",\"job\":{\"workload\":\"nosuch\"}}",
+        "{\"op\":\"run\",\"job\":{\"workload\":\"go\","
+        "\"config\":{\"bogus\":1}}}",
+        "{\"op\":\"run\",\"job\":{\"workload\":\"go\","
+        "\"config\":{\"max_threads\":0}}}",
+        "{\"op\":\"run\",\"job\":{\"workload\":\"go\","
+        "\"config\":{\"fault_enabled\":true}}}",
+        "{\"op\":\"run\",\"job\":{\"workload\":\"go\","
+        "\"max_retired\":\"lots\"}}",
+        "{\"op\":\"run\",\"job\":{\"workload\":\"go\","
+        "\"sample\":\"1:2\"}}",
+        "{\"op\":\"run\",\"job\":{\"workload\":\"go\","
+        "\"sample\":\"1000:100:200\","
+        "\"config\":{\"warmup_retired\":100}}}",
+    };
+    for (const char *line : bad) {
+        err.clear();
+        EXPECT_FALSE(parseRequest(line, &req, &err)) << line;
+        EXPECT_FALSE(err.empty()) << line;
+    }
+}
+
+TEST(Protocol, BudgetDefaultsMatchLocalRuns)
+{
+    setenv("DMT_BENCH_INSTR", "4321", 1);
+    Request req;
+    std::string err;
+    ASSERT_TRUE(parseRequest(
+        "{\"op\":\"run\",\"job\":{\"workload\":\"go\"}}", &req, &err))
+        << err;
+    EXPECT_EQ(req.job.max_retired, 4321u)
+        << "detailed default is benchRunLength()";
+    EXPECT_EQ(req.job.cfg.max_retired, 4321u)
+        << "the resolved budget must be folded into the cache identity";
+
+    ASSERT_TRUE(parseRequest("{\"op\":\"run\",\"job\":{\"workload\":"
+                             "\"go\",\"sample\":\"1000:100:200\"}}",
+                             &req, &err))
+        << err;
+    EXPECT_EQ(req.job.max_retired, 4321u)
+        << "sampled default is DMT_BENCH_INSTR";
+    unsetenv("DMT_BENCH_INSTR");
+
+    ASSERT_TRUE(parseRequest("{\"op\":\"run\",\"job\":{\"workload\":"
+                             "\"go\",\"sample\":\"1000:100:200\"}}",
+                             &req, &err));
+    EXPECT_EQ(req.job.max_retired, 0u)
+        << "sampled with no knob = whole program";
+}
+
+TEST(Protocol, ExtractRawResult)
+{
+    const std::string doc = "{\"cycles\":123,\"ipc\":1.5}";
+    const std::string reply =
+        okRunReply(JsonValue{}, doc, 0x1234, 0x5678, true);
+    std::string raw;
+    ASSERT_TRUE(extractRawResult(reply, &raw));
+    EXPECT_EQ(raw, doc) << "the slice must be byte-exact";
+    EXPECT_FALSE(extractRawResult(errorReply(JsonValue{}, "x"), &raw));
+}
+
+TEST(Protocol, CacheKeySeparatesComponents)
+{
+    const SimConfig cfg = smallDmt();
+    const u64 base = resultCacheKey(cfg, 1, SampleParams{});
+    EXPECT_EQ(base, resultCacheKey(cfg, 1, SampleParams{}));
+    EXPECT_NE(base, resultCacheKey(cfg, 2, SampleParams{}))
+        << "program image is part of the key";
+    SimConfig other = cfg;
+    other.fetch_ports = 4;
+    EXPECT_NE(base, resultCacheKey(other, 1, SampleParams{}));
+    SampleParams sp;
+    std::string err;
+    ASSERT_TRUE(SampleParams::parse("1000:100:200", &sp, &err));
+    EXPECT_NE(base, resultCacheKey(cfg, 1, sp));
+}
+
+// ---- result cache ------------------------------------------------------
+
+ComputedResult
+okResult(const std::string &json)
+{
+    ComputedResult r;
+    r.ok = true;
+    r.json = json;
+    r.hash = fnv1aHash(json);
+    return r;
+}
+
+TEST(ResultCache, MissThenHit)
+{
+    ResultCache cache(8);
+    int calls = 0;
+    auto out = cache.getOrCompute(1, [&] {
+        ++calls;
+        return okResult("one");
+    });
+    EXPECT_TRUE(out.ok);
+    EXPECT_FALSE(out.cached);
+    EXPECT_EQ(out.json, "one");
+
+    out = cache.getOrCompute(1, [&] {
+        ++calls;
+        return okResult("never");
+    });
+    EXPECT_TRUE(out.ok);
+    EXPECT_TRUE(out.cached);
+    EXPECT_EQ(out.json, "one");
+    EXPECT_EQ(calls, 1);
+
+    const auto c = cache.counters();
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_EQ(c.misses, 1u);
+    EXPECT_EQ(c.entries, 1u);
+}
+
+TEST(ResultCache, LruEvictionKeepsRecentlyUsed)
+{
+    ResultCache cache(2);
+    auto fill = [&](u64 key, const char *json) {
+        cache.getOrCompute(key, [&] { return okResult(json); });
+    };
+    fill(1, "one");
+    fill(2, "two");
+    // Touch 1 so 2 becomes the eviction victim.
+    cache.getOrCompute(1, [&] { return okResult("never"); });
+    fill(3, "three");
+    EXPECT_EQ(cache.counters().evictions, 1u);
+
+    int recomputed = 0;
+    auto out = cache.getOrCompute(1, [&] {
+        ++recomputed;
+        return okResult("one'");
+    });
+    EXPECT_TRUE(out.cached) << "1 was promoted, must have survived";
+    out = cache.getOrCompute(2, [&] {
+        ++recomputed;
+        return okResult("two'");
+    });
+    EXPECT_FALSE(out.cached) << "2 was the LRU entry, must be gone";
+    EXPECT_EQ(recomputed, 1);
+}
+
+TEST(ResultCache, ErrorsAreNotCached)
+{
+    ResultCache cache(8);
+    int calls = 0;
+    auto out = cache.getOrCompute(9, [&]() -> ComputedResult {
+        ++calls;
+        ComputedResult r;
+        r.error = "boom";
+        return r;
+    });
+    EXPECT_FALSE(out.ok);
+    EXPECT_EQ(out.error, "boom");
+    out = cache.getOrCompute(9, [&] {
+        ++calls;
+        return okResult("recovered");
+    });
+    EXPECT_TRUE(out.ok);
+    EXPECT_FALSE(out.cached) << "a failure must not poison the key";
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(ResultCache, SingleFlightDeduplicates)
+{
+    ResultCache cache(8);
+    std::atomic<int> calls{0};
+    auto compute = [&] {
+        calls.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        return okResult("shared");
+    };
+    ResultCache::Outcome a, b;
+    std::thread t1([&] { a = cache.getOrCompute(5, compute); });
+    // Give t1 a head start so t2 joins the in-flight computation.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    std::thread t2([&] { b = cache.getOrCompute(5, compute); });
+    t1.join();
+    t2.join();
+    EXPECT_EQ(calls.load(), 1) << "one computation, two answers";
+    EXPECT_TRUE(a.ok);
+    EXPECT_TRUE(b.ok);
+    EXPECT_EQ(a.json, "shared");
+    EXPECT_EQ(b.json, "shared");
+    EXPECT_TRUE(a.cached || b.cached);
+    EXPECT_EQ(cache.counters().joins, 1u);
+}
+
+// ---- live daemon -------------------------------------------------------
+
+class ServeEndToEnd : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ServeOptions opts;
+        opts.port = 0; // ephemeral: tests never collide
+        opts.pool = 2;
+        opts.cache_entries = 64;
+        opts.drain_s = 10.0;
+        server = std::make_unique<Server>(opts);
+        std::string err;
+        ASSERT_TRUE(server->start(&err)) << err;
+    }
+
+    ServeClient
+    makeClient()
+    {
+        ServeClient c;
+        std::string err;
+        EXPECT_TRUE(c.connect(server->port(), &err, 2.0)) << err;
+        return c;
+    }
+
+    /** Submit @p job, expect success, return (raw result, reply). */
+    std::string
+    runJob(ServeClient &c, const JobSpec &job, JsonValue *reply,
+           i64 id = 1)
+    {
+        std::string err, raw;
+        EXPECT_TRUE(c.request(runRequestLine(id, job), reply, &err))
+            << err;
+        const JsonValue *ok = reply->find("ok");
+        EXPECT_TRUE(ok && ok->asBool())
+            << "job failed: " << c.lastLine();
+        EXPECT_TRUE(extractRawResult(c.lastLine(), &raw));
+        return raw;
+    }
+
+    std::unique_ptr<Server> server;
+};
+
+TEST_F(ServeEndToEnd, ColdCachedAndDirectAnswersAreByteIdentical)
+{
+    ServeClient c = makeClient();
+    const JobSpec job = smallJob();
+
+    JsonValue cold_reply;
+    const std::string cold = runJob(c, job, &cold_reply);
+    EXPECT_FALSE(cold_reply.find("cached")->asBool());
+
+    JsonValue warm_reply;
+    const std::string warm = runJob(c, job, &warm_reply, 2);
+    EXPECT_TRUE(warm_reply.find("cached")->asBool());
+
+    const RunResult direct = runWorkloadJob(job.cfg, job.workload,
+                                            job.max_retired, job.sample);
+    EXPECT_EQ(cold, direct.jsonString())
+        << "daemon-computed bytes must equal a direct local run";
+    EXPECT_EQ(warm, direct.jsonString())
+        << "cache replay must not alter a single byte";
+    EXPECT_EQ(cold_reply.find("result_hash")->asString(),
+              hashHex(canonicalHash(direct)))
+        << "the advertised digest must match the local digest";
+    EXPECT_EQ(warm_reply.find("result_hash")->asString(),
+              hashHex(canonicalHash(direct)));
+    EXPECT_EQ(server->jobsSimulated(), 1u);
+}
+
+TEST_F(ServeEndToEnd, ConcurrentIdenticalJobsSimulateOnce)
+{
+    constexpr int kClients = 4;
+    std::vector<ServeClient> clients(kClients);
+    for (auto &c : clients) {
+        std::string err;
+        ASSERT_TRUE(c.connect(server->port(), &err, 2.0)) << err;
+    }
+    const JobSpec job = smallJob("compress");
+    const std::string line = runRequestLine(1, job);
+    for (auto &c : clients) {
+        std::string err;
+        ASSERT_TRUE(c.sendLine(line, &err)) << err;
+    }
+    std::vector<std::string> raws;
+    for (auto &c : clients) {
+        JsonValue reply;
+        std::string err, raw;
+        ASSERT_TRUE(c.recvReply(&reply, &err)) << err;
+        ASSERT_TRUE(reply.find("ok")->asBool()) << c.lastLine();
+        ASSERT_TRUE(extractRawResult(c.lastLine(), &raw));
+        raws.push_back(raw);
+    }
+    for (int i = 1; i < kClients; ++i)
+        EXPECT_EQ(raws[0], raws[i]) << "all N replies identical";
+    EXPECT_EQ(server->jobsSimulated(), 1u)
+        << "N duplicate submissions, exactly one simulation";
+}
+
+TEST_F(ServeEndToEnd, BadJobsAreContainedGoodJobsStillRun)
+{
+    ServeClient c = makeClient();
+    std::string err;
+    JsonValue reply;
+
+    // Malformed request: error reply, connection stays up.
+    ASSERT_TRUE(c.request("this is not json", &reply, &err)) << err;
+    EXPECT_FALSE(reply.find("ok")->asBool());
+
+    // Valid JSON, invalid job: rejection with a reason.
+    ASSERT_TRUE(c.request("{\"op\":\"run\",\"id\":9,\"job\":"
+                          "{\"workload\":\"nosuch\"}}",
+                          &reply, &err))
+        << err;
+    EXPECT_FALSE(reply.find("ok")->asBool());
+    EXPECT_NE(reply.find("error")->asString().find("nosuch"),
+              std::string::npos);
+
+    // A SimError inside a job (watchdog trip) becomes an error reply,
+    // not a daemon death.
+    JobSpec doomed = smallJob();
+    doomed.cfg.watchdog_cycles = 1;
+    ASSERT_TRUE(c.request(runRequestLine(10, doomed), &reply, &err))
+        << err;
+    EXPECT_FALSE(reply.find("ok")->asBool()) << c.lastLine();
+
+    // The daemon survived all of the above and still serves.
+    JsonValue good_reply;
+    runJob(c, smallJob(), &good_reply, 11);
+    EXPECT_TRUE(good_reply.find("ok")->asBool());
+}
+
+TEST_F(ServeEndToEnd, StatsReportQueueAndCaches)
+{
+    ServeClient c = makeClient();
+    JsonValue reply;
+    runJob(c, smallJob(), &reply);
+    runJob(c, smallJob(), &reply, 2);
+
+    std::string err;
+    ASSERT_TRUE(
+        c.request(simpleRequestLine("stats", 3), &reply, &err))
+        << err;
+    const JsonValue *stats = reply.find("stats");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->find("jobs_simulated")->asNumber(), 1.0);
+    EXPECT_EQ(stats->find("queue_depth")->asNumber(), 0.0);
+    const JsonValue *cache = stats->find("cache");
+    ASSERT_NE(cache, nullptr);
+    EXPECT_EQ(cache->find("hits")->asNumber(), 1.0);
+    EXPECT_EQ(cache->find("misses")->asNumber(), 1.0);
+    ASSERT_NE(stats->find("ckpt_cache"), nullptr)
+        << "checkpoint-cache counters ride along in stats";
+}
+
+TEST_F(ServeEndToEnd, ShutdownDrainsCleanly)
+{
+    ServeClient c = makeClient();
+    JsonValue reply;
+    runJob(c, smallJob(), &reply);
+
+    std::string err;
+    ASSERT_TRUE(
+        c.request(simpleRequestLine("shutdown", 2), &reply, &err))
+        << err;
+    EXPECT_TRUE(reply.find("ok")->asBool());
+    EXPECT_TRUE(server->draining());
+    server->join();
+
+    ServeClient late;
+    EXPECT_FALSE(late.connect(server->port(), &err, 0.0))
+        << "a drained daemon must not accept new connections";
+}
+
+} // namespace
+} // namespace dmt
