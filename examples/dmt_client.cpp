@@ -2,7 +2,8 @@
  * @file
  * CLI client for the simulation daemon (dmt_served).
  *
- *     dmt_client [--port P] [--wait S] <command> ...
+ *     dmt_client [--port P] [--wait S] [--retries N] [--timeout S]
+ *                [--deadline MS] <command> ...
  *
  *     ping                      round-trip check (exit 0 iff alive)
  *     stats                     print the daemon's stats object
@@ -27,6 +28,21 @@
  *
  * --wait S retries the initial connect for S seconds, the idiom for
  * "the daemon was just started in the background".
+ *
+ * Resilience: --retries N drives run/spec/batch jobs through
+ * ServeClient::requestWithRetry() (reconnect + seeded backoff through
+ * refusals, timeouts, overloaded/draining replies and corrupted
+ * transport); --timeout S bounds each reply wait; --deadline MS
+ * attaches a wall-clock budget to `run` jobs (spec/batch jobs carry
+ * their own "deadline_ms").  With retries on, batch runs lock-step
+ * instead of pipelined so each job can be retried independently.
+ *
+ * Fault drills: DMT_FAULTNET=1 interposes an in-process fault-
+ * injecting proxy (serve/faultnet.hh; DMT_FAULTNET_RATE/_SEED/
+ * _STALL_MS) between this client and the daemon, forces retries on,
+ * and prints the injected-fault tally on stderr at exit — the CI storm
+ * harness asserts results through the proxy are byte-identical to
+ * direct ones.
  */
 
 #include <cstdio>
@@ -35,12 +51,15 @@
 
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/env.hh"
 #include "common/json.hh"
 #include "serve/client.hh"
+#include "serve/faultnet.hh"
 #include "serve/protocol.hh"
 #include "serve/server.hh"
 
@@ -48,6 +67,29 @@ namespace
 {
 
 using namespace dmt;
+
+/** Lock-step request/reply options shared by every command. */
+struct ClientOptions
+{
+    int port = 0;       ///< the daemon (or proxy) port to talk to
+    int retries = 0;    ///< >0 enables requestWithRetry with N attempts
+    double timeout_s = 0.0;
+    u64 deadline_ms = 0;
+    RetryPolicy policy;
+};
+
+/** One lock-step request honoring the retry/timeout options. */
+bool
+doRequest(ServeClient &client, const ClientOptions &opt,
+          const std::string &line, i64 id, JsonValue *reply,
+          std::string *err)
+{
+    if (opt.retries > 0)
+        return client.requestWithRetry(opt.port, line, id, opt.policy,
+                                       reply, err);
+    client.setTimeout(opt.timeout_s);
+    return client.request(line, reply, err);
+}
 
 int
 die(const std::string &msg)
@@ -92,12 +134,14 @@ writeScalar(JsonWriter &w, const std::string &value, std::string *err)
 
 /** Build a job object from `run <workload> [k=v ...]` arguments. */
 bool
-buildJobJson(const std::vector<std::string> &args, std::string *out,
-             std::string *err)
+buildJobJson(const std::vector<std::string> &args, u64 deadline_ms,
+             std::string *out, std::string *err)
 {
     JsonWriter w;
     w.beginObject();
     w.key("workload").value(std::string_view(args[0]));
+    if (deadline_ms > 0)
+        w.key("deadline_ms").value(deadline_ms);
     std::vector<std::pair<std::string, std::string>> config;
     for (size_t i = 1; i < args.size(); ++i) {
         const size_t eq = args[i].find('=');
@@ -174,7 +218,8 @@ printRunReply(const JsonValue &reply, const std::string &wire_line)
 }
 
 int
-runBatch(ServeClient &client, const std::string &path)
+runBatch(ServeClient &client, const ClientOptions &opt,
+         const std::string &path)
 {
     std::string text, err;
     if (!readFile(path, &text, &err))
@@ -195,8 +240,12 @@ runBatch(ServeClient &client, const std::string &path)
         return die(path + ": empty grid");
 
     // Pipeline everything on the one connection, then collect replies
-    // (completion order) and match them back to jobs by id.
+    // (completion order) and match them back to jobs by id.  With
+    // retries on, run lock-step instead: each job is driven to a
+    // definitive reply on its own, so one lost reply cannot strand the
+    // rest of the pipeline.
     std::map<i64, std::string> labels;
+    std::vector<std::string> lines(items.size());
     for (size_t i = 0; i < items.size(); ++i) {
         JsonWriter jw;
         items[i].writeTo(jw);
@@ -205,15 +254,24 @@ runBatch(ServeClient &client, const std::string &path)
         labels[id] = w && w->type() == JsonValue::Type::String
             ? w->asString()
             : "job" + std::to_string(i);
-        if (!client.sendLine(requestLineForJob(id, jw.str()), &err))
+        lines[i] = requestLineForJob(id, jw.str());
+        if (opt.retries == 0 && !client.sendLine(lines[i], &err))
             return die(err);
     }
 
     u64 ok_n = 0, failed = 0, hits = 0, simulated = 0;
     for (size_t i = 0; i < items.size(); ++i) {
         JsonValue reply;
-        if (!client.recvReply(&reply, &err))
-            return die(err);
+        if (opt.retries > 0) {
+            if (!client.requestWithRetry(opt.port, lines[i],
+                                         static_cast<i64>(i),
+                                         opt.policy, &reply, &err))
+                return die(err);
+        } else {
+            client.setTimeout(opt.timeout_s);
+            if (!client.recvReply(&reply, &err))
+                return die(err);
+        }
         const JsonValue *idv = reply.find("id");
         const i64 id = idv && idv->type() == JsonValue::Type::Number
             ? static_cast<i64>(idv->asNumber())
@@ -252,41 +310,15 @@ runBatch(ServeClient &client, const std::string &path)
     return failed == 0 ? 0 : 1;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runCommand(ServeClient &client, const ClientOptions &opt,
+           const std::string &cmd, int arg, int argc, char **argv)
 {
-    int port = ServeOptions::fromEnv().port;
-    double wait_s = 0.0;
-
-    int arg = 1;
-    while (arg < argc && argv[arg][0] == '-') {
-        const std::string flag = argv[arg];
-        if (flag == "--port" && arg + 1 < argc) {
-            port = std::atoi(argv[++arg]);
-        } else if (flag == "--wait" && arg + 1 < argc) {
-            wait_s = std::atof(argv[++arg]);
-        } else {
-            return die("unknown flag \"" + flag + "\" (see the file "
-                       "header for usage)");
-        }
-        ++arg;
-    }
-    if (arg >= argc)
-        return die("usage: dmt_client [--port P] [--wait S] "
-                   "ping|stats|shutdown|run|spec|batch ...");
-    const std::string cmd = argv[arg++];
-
-    ServeClient client;
     std::string err;
-    if (!client.connect(port, &err, wait_s))
-        return die(err);
-
     if (cmd == "ping" || cmd == "stats" || cmd == "shutdown") {
         JsonValue reply;
-        if (!client.request(simpleRequestLine(cmd.c_str(), 0), &reply,
-                            &err))
+        if (!doRequest(client, opt, simpleRequestLine(cmd.c_str(), 0),
+                       0, &reply, &err))
             return die(err);
         JsonWriter w;
         if (cmd == "stats") {
@@ -306,11 +338,11 @@ main(int argc, char **argv)
         if (args.empty())
             return die("run needs a workload name");
         std::string job_json;
-        if (!buildJobJson(args, &job_json, &err))
+        if (!buildJobJson(args, opt.deadline_ms, &job_json, &err))
             return die(err);
         JsonValue reply;
-        if (!client.request(requestLineForJob(0, job_json), &reply,
-                            &err))
+        if (!doRequest(client, opt, requestLineForJob(0, job_json), 0,
+                       &reply, &err))
             return die(err);
         return printRunReply(reply, client.lastLine());
     }
@@ -327,8 +359,8 @@ main(int argc, char **argv)
         JsonWriter jw;
         job.writeTo(jw); // newline-free re-serialization for the wire
         JsonValue reply;
-        if (!client.request(requestLineForJob(0, jw.str()), &reply,
-                            &err))
+        if (!doRequest(client, opt, requestLineForJob(0, jw.str()), 0,
+                       &reply, &err))
             return die(err);
         return printRunReply(reply, client.lastLine());
     }
@@ -336,8 +368,93 @@ main(int argc, char **argv)
     if (cmd == "batch") {
         if (arg >= argc)
             return die("batch needs a grid file");
-        return runBatch(client, argv[arg]);
+        return runBatch(client, opt, argv[arg]);
     }
 
     return die("unknown command \"" + cmd + "\"");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int port = ServeOptions::fromEnv().port;
+    double wait_s = 0.0;
+    ClientOptions opt;
+
+    int arg = 1;
+    while (arg < argc && argv[arg][0] == '-') {
+        const std::string flag = argv[arg];
+        if (flag == "--port" && arg + 1 < argc) {
+            port = std::atoi(argv[++arg]);
+        } else if (flag == "--wait" && arg + 1 < argc) {
+            wait_s = std::atof(argv[++arg]);
+        } else if (flag == "--retries" && arg + 1 < argc) {
+            opt.retries = std::atoi(argv[++arg]);
+        } else if (flag == "--timeout" && arg + 1 < argc) {
+            opt.timeout_s = std::atof(argv[++arg]);
+        } else if (flag == "--deadline" && arg + 1 < argc) {
+            opt.deadline_ms = static_cast<u64>(
+                std::strtoull(argv[++arg], nullptr, 10));
+        } else {
+            return die("unknown flag \"" + flag + "\" (see the file "
+                       "header for usage)");
+        }
+        ++arg;
+    }
+    if (arg >= argc)
+        return die("usage: dmt_client [--port P] [--wait S] "
+                   "[--retries N] [--timeout S] [--deadline MS] "
+                   "ping|stats|shutdown|run|spec|batch ...");
+    const std::string cmd = argv[arg++];
+
+    // DMT_FAULTNET=1: interpose the fault-injecting proxy and talk to
+    // it instead; retries become mandatory — that is the drill.
+    std::unique_ptr<FaultNetProxy> proxy;
+    if (parseEnvU64("DMT_FAULTNET", 0, 0, 1) != 0) {
+        proxy = std::make_unique<FaultNetProxy>(
+            FaultNetOptions::fromEnv(port));
+        std::string perr;
+        if (!proxy->start(&perr))
+            return die("faultnet: " + perr);
+        port = proxy->port();
+        if (opt.retries <= 0)
+            opt.retries = 10;
+        if (opt.timeout_s <= 0)
+            opt.timeout_s = 30.0;
+    }
+    opt.port = port;
+    opt.policy.attempts = opt.retries > 0 ? opt.retries : 1;
+    opt.policy.op_timeout_s = opt.timeout_s;
+
+    int rc;
+    {
+        ServeClient client;
+        std::string err;
+        if (!client.connect(port, &err, wait_s)) {
+            // With retries on, let requestWithRetry own connecting —
+            // the first accept may be a deliberate refusal.
+            if (opt.retries == 0)
+                return die(err);
+        }
+        rc = runCommand(client, opt, cmd, arg, argc, argv);
+    }
+
+    if (proxy) {
+        const FaultNetProxy::Counters c = proxy->counters();
+        proxy->stop();
+        std::fprintf(stderr,
+                     "dmt_client: faultnet connections=%llu "
+                     "refused=%llu chunks=%llu garbled=%llu torn=%llu "
+                     "dropped=%llu stalled=%llu\n",
+                     static_cast<unsigned long long>(c.connections),
+                     static_cast<unsigned long long>(c.refused),
+                     static_cast<unsigned long long>(c.chunks),
+                     static_cast<unsigned long long>(c.garbled),
+                     static_cast<unsigned long long>(c.torn),
+                     static_cast<unsigned long long>(c.dropped),
+                     static_cast<unsigned long long>(c.stalled));
+    }
+    return rc;
 }

@@ -11,6 +11,13 @@
  * Scale/caching knobs (DMT_BENCH_INSTR, DMT_SAMPLE is ignored — jobs
  * carry their own sample spec — DMT_CKPT_DIR, DMT_SERVE_CACHE) are
  * read once at startup; see DESIGN.md §13.
+ *
+ * Robustness knobs (DESIGN.md §14): DMT_SERVE_CACHE_DIR spills every
+ * computed result to disk so a crashed daemon restarted on the same
+ * directory replays answered cells with simulated=0; DMT_SERVE_QUEUE
+ * bounds the job queue (excess requests get structured "overloaded"
+ * replies); DMT_SERVE_DEADLINE_S gives every job a default wall-clock
+ * budget, enforced in queue and mid-simulation.
  */
 
 #include <csignal>

@@ -154,7 +154,8 @@ ckptDir()
  */
 std::shared_ptr<const Checkpoint>
 checkpointAt(WorkloadCkpts &e, const std::string &workload, u64 pos,
-             double *ff_wall, u64 *halt_pos_out)
+             double *ff_wall, u64 *halt_pos_out,
+             std::chrono::steady_clock::time_point deadline = {})
 {
     std::lock_guard<std::mutex> lock(e.m);
     if (pos >= e.halt_pos) {
@@ -194,9 +195,24 @@ checkpointAt(WorkloadCkpts &e, const std::string &workload, u64 pos,
             core.reset();
         }
     }
+    // With a deadline armed, fast-forward in bounded chunks (a few
+    // tens of host milliseconds each) so a long skip cannot blow past
+    // the caller's wall-clock budget between checks.
+    const bool armed = deadline.time_since_epoch().count() != 0;
+    constexpr u64 kDeadlineChunk = u64{1} << 22;
     const auto t0 = std::chrono::steady_clock::now();
-    while (core.instrCount() < pos && !core.halted())
-        core.run(pos - core.instrCount());
+    while (core.instrCount() < pos && !core.halted()) {
+        u64 gap = pos - core.instrCount();
+        if (armed && gap > kDeadlineChunk)
+            gap = kDeadlineChunk;
+        core.run(gap);
+        if (armed && std::chrono::steady_clock::now() >= deadline) {
+            panic("deadline expired during functional fast-forward of "
+                  "%s at position %llu",
+                  workload.c_str(),
+                  static_cast<unsigned long long>(core.instrCount()));
+        }
+    }
     *ff_wall += std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
@@ -270,10 +286,20 @@ runWorkloadSampled(const SimConfig &cfg, const std::string &workload,
         if (budget > 0 && pos >= budget)
             break;
 
+        // Small detailed windows may finish under the engine's own
+        // deadline-check granule, so re-check between intervals too.
+        if (cfg.hasDeadline()
+            && std::chrono::steady_clock::now() >= cfg.deadline) {
+            panic("deadline expired between sampled intervals of %s "
+                  "at position %llu",
+                  workload.c_str(),
+                  static_cast<unsigned long long>(pos));
+        }
+
         const u64 start = pos + params.skip;
         u64 halt_pos = 0;
-        const std::shared_ptr<const Checkpoint> ck =
-            checkpointAt(e, workload, start, &ff_wall, &halt_pos);
+        const std::shared_ptr<const Checkpoint> ck = checkpointAt(
+            e, workload, start, &ff_wall, &halt_pos, cfg.deadline);
         if (!ck) {
             // Program ends inside this skip: coverage extends to HALT.
             pos = halt_pos;

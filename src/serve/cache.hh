@@ -19,6 +19,17 @@
  * Eviction is LRU over a bounded entry count (DMT_SERVE_CACHE); the
  * values are strings, so memory is roughly entries x canonical-JSON
  * size (a few KB each).
+ *
+ * Durable tier: with a spill directory (DMT_SERVE_CACHE_DIR) every
+ * computed entry is also written to disk — atomically, temp-file +
+ * rename, with a magic header and an FNV-1a integrity footer — at
+ * compute time, not at shutdown, so a kill -9'd daemon loses nothing
+ * already answered.  A memory miss probes the directory before
+ * simulating; torn, truncated or corrupted files are rejected (and
+ * deleted) at load time, mirroring the checkpoint store's guards, and
+ * the entry is simply recomputed and rewritten.  Disk entries are
+ * content-addressed by the same key as memory entries and are not
+ * LRU-bounded: the directory is the durable record.
  */
 
 #ifndef DMT_SERVE_CACHE_HH
@@ -58,12 +69,18 @@ struct ComputedResult
     std::string error;    ///< SimError message when !ok
 };
 
-/** Bounded LRU result cache with single-flight dedup. */
+/** Bounded LRU result cache with single-flight dedup and an optional
+ *  durable on-disk tier. */
 class ResultCache
 {
   public:
-    /** @param max_entries 0 disables storage (dedup still applies). */
-    explicit ResultCache(size_t max_entries);
+    /**
+     * @param max_entries 0 disables in-memory storage (dedup still
+     *        applies).
+     * @param dir Spill directory for the durable tier (must already
+     *        exist); empty keeps the cache memory-only.
+     */
+    explicit ResultCache(size_t max_entries, std::string dir = "");
 
     struct Outcome
     {
@@ -88,24 +105,32 @@ class ResultCache
 
     struct Counters
     {
-        u64 hits = 0;       ///< served from storage
+        u64 hits = 0;       ///< served from memory storage
         u64 misses = 0;     ///< computed by this request
         u64 joins = 0;      ///< served by another request's compute
         u64 evictions = 0;
         u64 entries = 0;    ///< current stored entries
         u64 capacity = 0;
+        u64 disk_hits = 0;  ///< served from the durable tier
+        u64 spills = 0;     ///< entries persisted to the durable tier
+        /** Durable-tier files rejected at load time (torn write, bad
+         *  magic, key mismatch, corrupt payload) and deleted. */
+        u64 restore_rejected = 0;
 
         double
         hitRate() const
         {
-            const u64 lookups = hits + misses + joins;
+            const u64 lookups = hits + disk_hits + misses + joins;
             return lookups > 0
-                ? static_cast<double>(hits + joins)
+                ? static_cast<double>(hits + disk_hits + joins)
                       / static_cast<double>(lookups)
                 : 0.0;
         }
     };
     Counters counters() const;
+
+    /** The durable-tier directory ("" when the tier is off). */
+    const std::string &dir() const { return dir_; }
 
   private:
     struct Flight
@@ -116,9 +141,17 @@ class ResultCache
 
     using LruList = std::list<std::pair<u64, ComputedResult>>;
 
+    /** Durable-tier probe for @p key; called without @p mu_ held.
+     *  @retval false on miss or rejection (sets @p rejected). */
+    bool loadDisk(u64 key, ComputedResult *out, bool *rejected) const;
+    /** Persist @p res for @p key (atomic temp+rename); returns
+     *  success.  Called without @p mu_ held. */
+    bool spillDisk(u64 key, const ComputedResult &res) const;
+
     mutable std::mutex mu_;
     std::condition_variable cv_;
     size_t max_entries_;
+    std::string dir_;
     LruList lru_; ///< front = most recently used
     std::unordered_map<u64, LruList::iterator> map_;
     std::unordered_map<u64, std::shared_ptr<Flight>> inflight_;

@@ -4,6 +4,19 @@
  * speaking the line-delimited JSON protocol (serve/protocol.hh).
  * Requests can be pipelined — send many lines, then collect replies;
  * the server answers in completion order, matching on "id".
+ *
+ * Two resilience layers sit on top of the raw connection:
+ *
+ *  - setTimeout() arms a poll-based per-reply timeout on recvLine(),
+ *    surfaced as a distinct "timeout: ..." error (timedOut() true), so
+ *    a wedged daemon costs one bounded wait instead of a hung client.
+ *
+ *  - requestWithRetry() drives a whole request to completion through
+ *    connect failures, "overloaded"/"draining" replies, reply
+ *    timeouts, and transport corruption (id mismatch, result_hash
+ *    mismatch), using bounded exponential backoff with deterministic
+ *    seeded jitter.  Safe because run requests are idempotent by
+ *    cache-key construction — replaying one can only hit the cache.
  */
 
 #ifndef DMT_SERVE_CLIENT_HH
@@ -13,9 +26,25 @@
 #include <utility>
 
 #include "common/json.hh"
+#include "common/types.hh"
 
 namespace dmt
 {
+
+/** Backoff/retry schedule for ServeClient::requestWithRetry(). */
+struct RetryPolicy
+{
+    /** Total attempts (first try included); at least 1. */
+    int attempts = 6;
+    /** First backoff delay; doubles per retry up to max_s. */
+    double base_s = 0.05;
+    double max_s = 2.0;
+    /** Per-reply receive timeout for each attempt; 0 = wait forever. */
+    double op_timeout_s = 0.0;
+    /** Jitter seed: same seed + same failure pattern = same delays,
+     *  so retry storms in tests are reproducible. */
+    u64 seed = 0x1998;
+};
 
 /** A blocking protocol connection to a dmt_served daemon. */
 class ServeClient
@@ -35,6 +64,8 @@ class ServeClient
             other.fd_ = -1;
             rxbuf_ = std::move(other.rxbuf_);
             last_line_ = std::move(other.last_line_);
+            timeout_s_ = other.timeout_s_;
+            timed_out_ = other.timed_out_;
         }
         return *this;
     }
@@ -52,6 +83,17 @@ class ServeClient
     /** Send one request line (newline appended). */
     bool sendLine(const std::string &line, std::string *err);
 
+    /** Arm (or with 0 disarm) a per-reply receive timeout.  Applies to
+     *  every subsequent recvLine()/recvReply(); an expiry fails that
+     *  call with a "timeout: ..." error and timedOut() true.  After a
+     *  timeout the connection must be close()d — the late reply would
+     *  otherwise be mis-matched to the next request. */
+    void setTimeout(double seconds) { timeout_s_ = seconds; }
+
+    /** True when the last failed recv was a timeout, not a transport
+     *  or protocol error. */
+    bool timedOut() const { return timed_out_; }
+
     /** Block for the next raw reply line (no trailing newline). */
     bool recvLine(std::string *line, std::string *err);
 
@@ -66,12 +108,32 @@ class ServeClient
     bool request(const std::string &line, JsonValue *reply,
                  std::string *err);
 
+    /**
+     * Drive @p line (carrying request id @p id) to a definitive reply
+     * through transient failures: reconnects to 127.0.0.1:@p port as
+     * needed, retries on connect refusal, reply timeout, connection
+     * loss, "overloaded"/"draining" error replies, and corrupted
+     * transport (reply id != @p id, or a run reply whose result bytes
+     * do not hash to its result_hash).  Backoff doubles from
+     * pol.base_s to pol.max_s with deterministic jitter from pol.seed.
+     *
+     * @retval true with the reply (which may still be a non-retryable
+     * error reply — bad_request / deadline / sim_error — for the
+     * caller to inspect); false with @p err once pol.attempts are
+     * exhausted.
+     */
+    bool requestWithRetry(int port, const std::string &line, i64 id,
+                          const RetryPolicy &pol, JsonValue *reply,
+                          std::string *err);
+
     void close();
 
   private:
     int fd_ = -1;
     std::string rxbuf_;
     std::string last_line_;
+    double timeout_s_ = 0.0;
+    bool timed_out_ = false;
 };
 
 } // namespace dmt

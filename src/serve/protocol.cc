@@ -332,6 +332,13 @@ parseRequest(std::string_view line, Request *out, std::string *err)
         job.priority = prio;
     }
 
+    if (const JsonValue *d = jobv->find("deadline_ms")) {
+        // Cap at one day: a longer "deadline" is a typo, not a budget.
+        if (!numAsU64(*d, 86400000, &job.deadline_ms, &e,
+                      "deadline_ms"))
+            return false;
+    }
+
     return checkJobSpec(job, &e);
 }
 
@@ -346,6 +353,8 @@ jobSpecJsonOn(JsonWriter &w, const JobSpec &job)
             std::string_view(job.sample.canonicalSpec()));
     if (job.priority != 0)
         w.key("priority").value(job.priority);
+    if (job.deadline_ms != 0)
+        w.key("deadline_ms").value(job.deadline_ms);
     w.key("config");
     job.cfg.jsonOn(w);
     w.endObject();
@@ -376,21 +385,39 @@ simpleRequestLine(const char *op, i64 id)
 }
 
 std::string
-errorReply(const JsonValue &id, const std::string &message)
+errorReply(const JsonValue &id, const std::string &message,
+           const char *kind, u64 req_hash)
 {
     JsonWriter w;
     w.beginObject();
     w.key("id");
     id.writeTo(w);
     w.key("ok").value(false);
+    w.key("kind").value(kind);
+    if (req_hash != 0)
+        w.key("req").value(std::string_view(hashHex(req_hash)));
     w.key("error").value(std::string_view(message));
     w.endObject();
     return w.str();
 }
 
 std::string
+replyErrorKind(const JsonValue &reply)
+{
+    if (reply.type() != JsonValue::Type::Object)
+        return "";
+    const JsonValue *ok = reply.find("ok");
+    if (!ok || ok->type() != JsonValue::Type::Bool || ok->asBool())
+        return "";
+    const JsonValue *kind = reply.find("kind");
+    if (kind && kind->type() == JsonValue::Type::String)
+        return kind->asString();
+    return errkind::kGeneric;
+}
+
+std::string
 okRunReply(const JsonValue &id, std::string_view result_json, u64 key,
-           u64 result_hash, bool cached)
+           u64 result_hash, bool cached, u64 req_hash)
 {
     JsonWriter w;
     w.beginObject();
@@ -400,6 +427,10 @@ okRunReply(const JsonValue &id, std::string_view result_json, u64 key,
     w.key("cached").value(cached);
     w.key("key").value(std::string_view(hashHex(key)));
     w.key("result_hash").value(std::string_view(hashHex(result_hash)));
+    if (req_hash != 0)
+        w.key("req").value(std::string_view(hashHex(req_hash)));
+    // "result" stays the final member — extractRawResult() depends on
+    // slicing up to the envelope's closing brace.
     w.key("result").rawValue(result_json);
     w.endObject();
     return w.str();
@@ -421,13 +452,15 @@ extractRawResult(std::string_view reply_line, std::string *out)
 }
 
 std::string
-pongReply(const JsonValue &id)
+pongReply(const JsonValue &id, u64 req_hash)
 {
     JsonWriter w;
     w.beginObject();
     w.key("id");
     id.writeTo(w);
     w.key("ok").value(true);
+    if (req_hash != 0)
+        w.key("req").value(std::string_view(hashHex(req_hash)));
     w.key("pong").value(true);
     w.endObject();
     return w.str();

@@ -19,8 +19,23 @@
  *
  *   {"id":1,"ok":true,"cached":false,"key":"<16-hex>",
  *       "result_hash":"<16-hex>","result":{...canonical RunResult...}}
- *   {"id":1,"ok":false,"error":"..."}
+ *   {"id":1,"ok":false,"kind":"sim_error","error":"..."}
  *   {"id":2,"ok":true,"stats":{...}}
+ *
+ * Error replies carry a machine-readable "kind" so clients can decide
+ * what to do without parsing prose: "bad_request" (malformed line or
+ * rejected job spec), "overloaded" (job queue full — retryable),
+ * "draining" (daemon shutting down — retryable against a replacement),
+ * "deadline" (the job's wall-clock budget expired, in queue or
+ * mid-run), "sim_error" (SimError inside the simulation: watchdog,
+ * invariant audit, golden mismatch), or the generic "error".  Run
+ * requests are idempotent by construction — the cache key is a pure
+ * function of the job — so retrying any of these is always safe.
+ *
+ * A run job may carry "deadline_ms": its wall-clock budget measured
+ * from enqueue (0 or absent = the daemon's DMT_SERVE_DEADLINE_S
+ * default).  The deadline is scheduling state, not job identity: two
+ * requests differing only in deadline_ms share one cache cell.
  *
  * The embedded "result" document is the *byte-exact* canonical
  * RunResult JSON (spliced with JsonWriter::rawValue, never re-parsed),
@@ -57,6 +72,9 @@ struct JobSpec
     u64 max_retired = 0;
     SampleParams sample;   ///< job-level sampling (env is ignored)
     i64 priority = 0;      ///< larger = scheduled sooner
+    /** Wall-clock budget from enqueue, milliseconds; 0 = the daemon's
+     *  DMT_SERVE_DEADLINE_S default.  Not part of the cache key. */
+    u64 deadline_ms = 0;
 };
 
 /** A parsed client request. */
@@ -106,13 +124,40 @@ std::string simpleRequestLine(const char *op, i64 id);
 
 // ---- reply builders (no trailing newline) ------------------------------
 
-std::string errorReply(const JsonValue &id, const std::string &message);
+/** Error-reply "kind" values; see the file header for semantics. */
+namespace errkind
+{
+constexpr const char *kBadRequest = "bad_request";
+constexpr const char *kOverloaded = "overloaded";
+constexpr const char *kDraining = "draining";
+constexpr const char *kDeadline = "deadline";
+constexpr const char *kSimError = "sim_error";
+constexpr const char *kGeneric = "error";
+} // namespace errkind
+
+/**
+ * Every reply builder takes an optional @p req_hash: the FNV-1a digest
+ * of the exact request line the server is answering, echoed back as
+ * "req" (omitted when 0).  The client hashed the bytes it sent, so a
+ * request mutated in flight — even into different-but-valid JSON the
+ * server happily served — produces an echo mismatch the client can
+ * treat as transport corruption and retry, instead of accepting an
+ * answer to a question it never asked.
+ */
+std::string errorReply(const JsonValue &id, const std::string &message,
+                       const char *kind = errkind::kGeneric,
+                       u64 req_hash = 0);
+
+/** The "kind" of a parsed error reply ("" for a success reply or a
+ *  malformed document; kGeneric when an error reply carries none). */
+std::string replyErrorKind(const JsonValue &reply);
 
 /** Success reply for a run; @p result_json is spliced verbatim. */
 std::string okRunReply(const JsonValue &id, std::string_view result_json,
-                       u64 key, u64 result_hash, bool cached);
+                       u64 key, u64 result_hash, bool cached,
+                       u64 req_hash = 0);
 
-std::string pongReply(const JsonValue &id);
+std::string pongReply(const JsonValue &id, u64 req_hash = 0);
 
 /**
  * Slice the byte-exact "result" document out of an okRunReply() line.

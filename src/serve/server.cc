@@ -4,13 +4,17 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
+
+#include <cstdlib>
 
 #include <cerrno>
 #include <cstring>
 
 #include "common/env.hh"
 #include "common/log.hh"
+#include "common/strutil.hh"
 #include "exp/report.hh"
 #include "exp/runner.hh"
 #include "exp/sweep.hh"
@@ -61,6 +65,21 @@ ServeOptions::fromEnv()
     o.pool = static_cast<int>(parseEnvU64("DMT_SERVE_JOBS", 0, 0, 1024));
     o.cache_entries = parseEnvU64("DMT_SERVE_CACHE", 4096, 0, 1u << 20);
     o.drain_s = parseEnvF64("DMT_SERVE_DRAIN_S", 30.0, 0.0, 86400.0);
+    o.queue_max = parseEnvU64("DMT_SERVE_QUEUE", 1024, 0, 1u << 20);
+    o.deadline_s =
+        parseEnvF64("DMT_SERVE_DEADLINE_S", 0.0, 0.0, 86400.0);
+    if (const char *dir = std::getenv("DMT_SERVE_CACHE_DIR");
+        dir && *dir) {
+        // A misconfigured durable tier must fail loudly at startup,
+        // not degrade every later request into a spill warning.
+        if (::mkdir(dir, 0755) != 0 && errno != EEXIST)
+            fatal("DMT_SERVE_CACHE_DIR=\"%s\": cannot create: %s", dir,
+                  std::strerror(errno));
+        struct stat st{};
+        if (::stat(dir, &st) != 0 || !S_ISDIR(st.st_mode))
+            fatal("DMT_SERVE_CACHE_DIR=\"%s\": not a directory", dir);
+        o.cache_dir = dir;
+    }
     return o;
 }
 
@@ -72,7 +91,7 @@ Server::Conn::~Conn()
 
 Server::Server(const ServeOptions &opts)
     : opts_(opts),
-      cache_(static_cast<size_t>(opts.cache_entries))
+      cache_(static_cast<size_t>(opts.cache_entries), opts.cache_dir)
 {
     if (opts_.pool <= 0)
         opts_.pool = sweepJobs();
@@ -181,7 +200,8 @@ Server::connLoop(std::shared_ptr<Conn> conn)
         buf.erase(0, start);
         if (buf.size() > kMaxLine) {
             sendReply(conn,
-                      errorReply(JsonValue{}, "request line too long"));
+                      errorReply(JsonValue{}, "request line too long",
+                                 errkind::kBadRequest));
             break;
         }
     }
@@ -192,17 +212,22 @@ Server::handleLine(const std::shared_ptr<Conn> &conn,
                    std::string_view line)
 {
     requests_.fetch_add(1);
+    // Echoed on every reply: proof the server answered *these* bytes,
+    // not a corrupted-but-parseable mutation of them.
+    const u64 req_hash = fnv1aHash(line);
     Request req;
     std::string err;
     if (!parseRequest(line, &req, &err)) {
         bad_requests_.fetch_add(1);
-        sendReply(conn, errorReply(req.id, err));
+        sendReply(conn,
+                  errorReply(req.id, err, errkind::kBadRequest,
+                             req_hash));
         return;
     }
 
     switch (req.op) {
       case Request::Op::Ping:
-        sendReply(conn, pongReply(req.id));
+        sendReply(conn, pongReply(req.id, req_hash));
         return;
       case Request::Op::Stats: {
         JsonWriter w;
@@ -210,6 +235,7 @@ Server::handleLine(const std::shared_ptr<Conn> &conn,
         w.key("id");
         req.id.writeTo(w);
         w.key("ok").value(true);
+        w.key("req").value(std::string_view(hashHex(req_hash)));
         w.key("stats").rawValue(statsJson());
         w.endObject();
         sendReply(conn, w.str());
@@ -221,6 +247,7 @@ Server::handleLine(const std::shared_ptr<Conn> &conn,
         w.key("id");
         req.id.writeTo(w);
         w.key("ok").value(true);
+        w.key("req").value(std::string_view(hashHex(req_hash)));
         w.key("draining").value(true);
         w.endObject();
         sendReply(conn, w.str());
@@ -234,12 +261,36 @@ Server::handleLine(const std::shared_ptr<Conn> &conn,
     auto job = std::make_shared<QueuedJob>();
     job->conn = conn;
     job->id = req.id;
+    job->req_hash = req_hash;
     job->spec = std::move(req.job);
     job->key = resultCacheKey(job->spec.cfg,
                               programHashFor(job->spec.workload),
                               job->spec.sample);
+    // The deadline clock starts at enqueue: queueing delay counts
+    // against the budget, so an overloaded daemon sheds stale work
+    // instead of simulating answers nobody is waiting for anymore.
+    const double budget_s = job->spec.deadline_ms > 0
+        ? static_cast<double>(job->spec.deadline_ms) / 1000.0
+        : opts_.deadline_s;
+    if (budget_s > 0) {
+        job->deadline = Clock::now()
+            + std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(budget_s));
+    }
     {
-        std::lock_guard<std::mutex> lk(queue_mu_);
+        std::unique_lock<std::mutex> lk(queue_mu_);
+        if (opts_.queue_max > 0 && queue_.size() >= opts_.queue_max) {
+            lk.unlock(); // reply outside the lock
+            rejected_overload_.fetch_add(1);
+            sendReply(job->conn,
+                      errorReply(job->id,
+                                 strprintf("overloaded: %llu jobs "
+                                           "queued (DMT_SERVE_QUEUE)",
+                                           static_cast<unsigned long long>(
+                                               opts_.queue_max)),
+                                 errkind::kOverloaded, req_hash));
+            return;
+        }
         job->seq = next_seq_++;
         queue_.push(std::move(job));
     }
@@ -281,6 +332,29 @@ Server::workerLoop()
         }
 
         const auto t0 = Clock::now();
+        const bool has_deadline =
+            job->deadline.time_since_epoch().count() != 0;
+        if (has_deadline && t0 >= job->deadline) {
+            // Expired while queued: shed the job without simulating.
+            // The cache stays untouched, so a retry with a fresh
+            // budget computes (or disk-hits) normally.
+            deadline_expired_.fetch_add(1);
+            const double waited =
+                std::chrono::duration<double>(t0 - job->deadline).count();
+            sendReply(job->conn,
+                      errorReply(job->id,
+                                 strprintf("deadline expired %.1fs ago "
+                                           "while queued",
+                                           waited),
+                                 errkind::kDeadline, job->req_hash));
+            std::lock_guard<std::mutex> lk(queue_mu_);
+            --active_jobs_;
+            if (queue_.empty() && active_jobs_ == 0)
+                drained_cv_.notify_all();
+            continue;
+        }
+        if (has_deadline)
+            job->spec.cfg.deadline = job->deadline;
         const ResultCache::Outcome out =
             cache_.getOrCompute(job->key, [&]() -> ComputedResult {
                 ComputedResult res;
@@ -300,11 +374,19 @@ Server::workerLoop()
             jobs_simulated_.fetch_add(1);
 
         if (out.ok) {
-            sendReply(job->conn, okRunReply(job->id, out.json, job->key,
-                                            out.hash, out.cached));
+            sendReply(job->conn,
+                      okRunReply(job->id, out.json, job->key, out.hash,
+                                 out.cached, job->req_hash));
+        } else if (out.error.rfind("deadline expired", 0) == 0) {
+            deadline_expired_.fetch_add(1);
+            sendReply(job->conn,
+                      errorReply(job->id, out.error, errkind::kDeadline,
+                                 job->req_hash));
         } else {
             jobs_failed_.fetch_add(1);
-            sendReply(job->conn, errorReply(job->id, out.error));
+            sendReply(job->conn,
+                      errorReply(job->id, out.error, errkind::kSimError,
+                                 job->req_hash));
         }
 
         {
@@ -372,8 +454,10 @@ Server::join()
     for (const std::shared_ptr<QueuedJob> &job : dropped) {
         jobs_rejected_.fetch_add(1);
         sendReply(job->conn,
-                  errorReply(job->id, "server draining: job dropped "
-                                      "after drain timeout"));
+                  errorReply(job->id,
+                             "server draining: job dropped after drain "
+                             "timeout",
+                             errkind::kDraining, job->req_hash));
     }
     queue_cv_.notify_all();
     for (std::thread &t : workers_) {
@@ -412,6 +496,8 @@ Server::statsJson() const
     w.key("jobs_simulated").value(jobs_simulated_.load());
     w.key("jobs_failed").value(jobs_failed_.load());
     w.key("jobs_rejected").value(jobs_rejected_.load());
+    w.key("rejected_overload").value(rejected_overload_.load());
+    w.key("deadline_expired").value(deadline_expired_.load());
     w.key("busy_s").value(static_cast<double>(busy_us_.load()) / 1e6);
     w.key("wall_s").value(
         std::chrono::duration<double>(Clock::now() - start_time_)
@@ -421,9 +507,12 @@ Server::statsJson() const
     w.key("capacity").value(cc.capacity);
     w.key("entries").value(cc.entries);
     w.key("hits").value(cc.hits);
+    w.key("disk_hits").value(cc.disk_hits);
     w.key("misses").value(cc.misses);
     w.key("joins").value(cc.joins);
     w.key("evictions").value(cc.evictions);
+    w.key("spills").value(cc.spills);
+    w.key("restore_rejected").value(cc.restore_rejected);
     w.key("hit_rate").value(cc.hitRate());
     w.endObject();
     w.key("ckpt_cache");

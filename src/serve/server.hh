@@ -66,10 +66,26 @@ struct ServeOptions
     /** Seconds join() waits for queued jobs after a drain request
      *  before failing them with "draining" replies. */
     double drain_s = 30.0;
+    /** Durable result-cache directory (DMT_SERVE_CACHE_DIR); every
+     *  computed result is spilled here at compute time, so a crashed
+     *  daemon restarted on the same directory replays answered cells
+     *  from disk.  Empty keeps the cache memory-only. */
+    std::string cache_dir;
+    /** Job-queue bound (DMT_SERVE_QUEUE); a run request arriving with
+     *  this many jobs already queued is rejected with a structured
+     *  "overloaded" reply instead of buffered without limit.  0 =
+     *  unbounded. */
+    u64 queue_max = 1024;
+    /** Default per-job wall-clock budget in seconds, measured from
+     *  enqueue (DMT_SERVE_DEADLINE_S; a job's deadline_ms overrides).
+     *  0 = no deadline. */
+    double deadline_s = 0.0;
 
     /** Strict parse of DMT_SERVE_PORT / DMT_SERVE_JOBS /
-     *  DMT_SERVE_CACHE / DMT_SERVE_DRAIN_S; garbage is fatal() like
-     *  every other DMT_* knob. */
+     *  DMT_SERVE_CACHE / DMT_SERVE_DRAIN_S / DMT_SERVE_CACHE_DIR /
+     *  DMT_SERVE_QUEUE / DMT_SERVE_DEADLINE_S; garbage is fatal()
+     *  like every other DMT_* knob, and a cache directory that cannot
+     *  be created (or is not a directory) is fatal() too. */
     static ServeOptions fromEnv();
 };
 
@@ -119,6 +135,14 @@ class Server
         JobSpec spec;
         u64 key = 0;
         u64 seq = 0;
+        /** FNV-1a of the exact request line, echoed in the reply as
+         *  "req" so a retrying client can detect a request mutated in
+         *  flight (see protocol.hh). */
+        u64 req_hash = 0;
+        /** Wall-clock deadline (from enqueue + the job's budget);
+         *  epoch = none.  Checked at dequeue and enforced inside the
+         *  simulation via SimConfig::deadline. */
+        std::chrono::steady_clock::time_point deadline{};
     };
 
     /** Max-heap order: higher priority first, then submission order. */
@@ -174,6 +198,8 @@ class Server
     std::atomic<u64> jobs_simulated_{0};
     std::atomic<u64> jobs_failed_{0};
     std::atomic<u64> jobs_rejected_{0}; ///< drain-timeout failures
+    std::atomic<u64> rejected_overload_{0}; ///< queue-full rejections
+    std::atomic<u64> deadline_expired_{0};  ///< in queue or mid-run
     std::atomic<u64> busy_us_{0};       ///< summed job wall clock
 };
 

@@ -9,10 +9,15 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/env.hh"
 #include "exp/runner.hh"
+#include "serve/faultnet.hh"
 #include "serve/server.hh"
 
 namespace dmt
@@ -146,6 +151,18 @@ clearServeEnv()
     unsetenv("DMT_SERVE_JOBS");
     unsetenv("DMT_SERVE_CACHE");
     unsetenv("DMT_SERVE_DRAIN_S");
+    unsetenv("DMT_SERVE_CACHE_DIR");
+    unsetenv("DMT_SERVE_QUEUE");
+    unsetenv("DMT_SERVE_DEADLINE_S");
+}
+
+void
+clearFaultNetEnv()
+{
+    unsetenv("DMT_FAULTNET");
+    unsetenv("DMT_FAULTNET_RATE");
+    unsetenv("DMT_FAULTNET_SEED");
+    unsetenv("DMT_FAULTNET_STALL_MS");
 }
 
 } // namespace
@@ -158,6 +175,9 @@ TEST(ServeEnv, DefaultsWhenUnset)
     EXPECT_EQ(o.pool, 0) << "0 = sweep pool width";
     EXPECT_EQ(o.cache_entries, 4096u);
     EXPECT_DOUBLE_EQ(o.drain_s, 30.0);
+    EXPECT_TRUE(o.cache_dir.empty()) << "durable tier off by default";
+    EXPECT_EQ(o.queue_max, 1024u);
+    EXPECT_DOUBLE_EQ(o.deadline_s, 0.0) << "no deadline by default";
 }
 
 TEST(ServeEnv, ReadsValidValues)
@@ -166,12 +186,31 @@ TEST(ServeEnv, ReadsValidValues)
     setenv("DMT_SERVE_JOBS", "4", 1);
     setenv("DMT_SERVE_CACHE", "0", 1);
     setenv("DMT_SERVE_DRAIN_S", "1.5", 1);
+    setenv("DMT_SERVE_QUEUE", "8", 1);
+    setenv("DMT_SERVE_DEADLINE_S", "2.5", 1);
     const ServeOptions o = ServeOptions::fromEnv();
     EXPECT_EQ(o.port, 0) << "0 = ephemeral port";
     EXPECT_EQ(o.pool, 4);
     EXPECT_EQ(o.cache_entries, 0u) << "0 = storage off, dedup on";
     EXPECT_DOUBLE_EQ(o.drain_s, 1.5);
+    EXPECT_EQ(o.queue_max, 8u);
+    EXPECT_DOUBLE_EQ(o.deadline_s, 2.5);
     clearServeEnv();
+}
+
+TEST(ServeEnv, CacheDirIsCreatedAndAccepted)
+{
+    clearServeEnv();
+    const char *dir = "serve_env_cache_dir";
+    ::rmdir(dir);
+    setenv("DMT_SERVE_CACHE_DIR", dir, 1);
+    const ServeOptions o = ServeOptions::fromEnv();
+    EXPECT_EQ(o.cache_dir, dir);
+    struct stat st{};
+    EXPECT_EQ(::stat(dir, &st), 0) << "fromEnv must create the dir";
+    EXPECT_TRUE(S_ISDIR(st.st_mode));
+    clearServeEnv();
+    ::rmdir(dir);
 }
 
 TEST(ServeEnvDeath, GarbageIsFatal)
@@ -184,6 +223,12 @@ TEST(ServeEnvDeath, GarbageIsFatal)
     unsetenv("DMT_SERVE_PORT");
     setenv("DMT_SERVE_DRAIN_S", "soon", 1);
     EXPECT_DEATH(ServeOptions::fromEnv(), "DMT_SERVE_DRAIN_S");
+    unsetenv("DMT_SERVE_DRAIN_S");
+    setenv("DMT_SERVE_QUEUE", "many", 1);
+    EXPECT_DEATH(ServeOptions::fromEnv(), "DMT_SERVE_QUEUE");
+    unsetenv("DMT_SERVE_QUEUE");
+    setenv("DMT_SERVE_DEADLINE_S", "5s", 1);
+    EXPECT_DEATH(ServeOptions::fromEnv(), "DMT_SERVE_DEADLINE_S");
     clearServeEnv();
 }
 
@@ -198,7 +243,72 @@ TEST(ServeEnvDeath, RangeIsEnforced)
     unsetenv("DMT_SERVE_JOBS");
     setenv("DMT_SERVE_DRAIN_S", "-1", 1);
     EXPECT_DEATH(ServeOptions::fromEnv(), "out of range");
+    unsetenv("DMT_SERVE_DRAIN_S");
+    setenv("DMT_SERVE_DEADLINE_S", "-0.5", 1);
+    EXPECT_DEATH(ServeOptions::fromEnv(), "out of range");
     clearServeEnv();
+}
+
+TEST(ServeEnvDeath, CacheDirThatIsAFileIsFatal)
+{
+    clearServeEnv();
+    const char *path = "serve_env_cache_file";
+    std::FILE *f = std::fopen(path, "w");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+    setenv("DMT_SERVE_CACHE_DIR", path, 1);
+    EXPECT_DEATH(ServeOptions::fromEnv(), "not a directory");
+    clearServeEnv();
+    std::remove(path);
+}
+
+TEST(FaultNetEnv, DefaultsWhenUnset)
+{
+    clearFaultNetEnv();
+    const FaultNetOptions o = FaultNetOptions::fromEnv(1998);
+    EXPECT_EQ(o.upstream_port, 1998);
+    EXPECT_EQ(o.listen_port, 0) << "proxy always picks an ephemeral "
+                                   "port";
+    EXPECT_DOUBLE_EQ(o.rate, 0.05);
+    EXPECT_EQ(o.seed, 1998u);
+    EXPECT_EQ(o.stall_ms, 100u);
+}
+
+TEST(FaultNetEnv, ReadsValidValues)
+{
+    clearFaultNetEnv();
+    setenv("DMT_FAULTNET_RATE", "0.25", 1);
+    setenv("DMT_FAULTNET_SEED", "42", 1);
+    setenv("DMT_FAULTNET_STALL_MS", "7", 1);
+    const FaultNetOptions o = FaultNetOptions::fromEnv(1998);
+    EXPECT_DOUBLE_EQ(o.rate, 0.25);
+    EXPECT_EQ(o.seed, 42u);
+    EXPECT_EQ(o.stall_ms, 7u);
+    // The enable flag itself is strictly boolean.
+    setenv("DMT_FAULTNET", "1", 1);
+    EXPECT_EQ(parseEnvU64("DMT_FAULTNET", 0, 0, 1), 1u);
+    clearFaultNetEnv();
+}
+
+TEST(FaultNetEnvDeath, GarbageAndRangeAreFatal)
+{
+    clearFaultNetEnv();
+    setenv("DMT_FAULTNET_RATE", "lots", 1);
+    EXPECT_DEATH(FaultNetOptions::fromEnv(1998), "DMT_FAULTNET_RATE");
+    setenv("DMT_FAULTNET_RATE", "1.5", 1);
+    EXPECT_DEATH(FaultNetOptions::fromEnv(1998), "out of range");
+    unsetenv("DMT_FAULTNET_RATE");
+    setenv("DMT_FAULTNET_SEED", "0x29", 1);
+    EXPECT_DEATH(FaultNetOptions::fromEnv(1998), "DMT_FAULTNET_SEED");
+    unsetenv("DMT_FAULTNET_SEED");
+    setenv("DMT_FAULTNET_STALL_MS", "90000", 1);
+    EXPECT_DEATH(FaultNetOptions::fromEnv(1998), "out of range");
+    unsetenv("DMT_FAULTNET_STALL_MS");
+    setenv("DMT_FAULTNET", "yes", 1);
+    EXPECT_DEATH(parseEnvU64("DMT_FAULTNET", 0, 0, 1), "DMT_FAULTNET");
+    setenv("DMT_FAULTNET", "2", 1);
+    EXPECT_DEATH(parseEnvU64("DMT_FAULTNET", 0, 0, 1), "out of range");
+    clearFaultNetEnv();
 }
 
 } // namespace

@@ -11,12 +11,22 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <dirent.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/log.hh"
+#include "common/rng.hh"
 #include "exp/report.hh"
 #include "exp/runner.hh"
 #include "exp/sampled.hh"
@@ -49,6 +59,49 @@ smallJob(const std::string &workload = "go")
     job.cfg = smallDmt();
     job.max_retired = kBudget;
     return job;
+}
+
+/** A fresh, empty durable-cache directory under the test cwd. */
+std::string
+tempCacheDir(const char *name)
+{
+    const std::string d = std::string("serve_test_") + name;
+    ::mkdir(d.c_str(), 0755);
+    if (DIR *dp = ::opendir(d.c_str())) {
+        while (dirent *de = ::readdir(dp)) {
+            const std::string f = de->d_name;
+            if (f != "." && f != "..")
+                std::remove((d + "/" + f).c_str());
+        }
+        ::closedir(dp);
+    }
+    return d;
+}
+
+std::string
+readAll(const std::string &path)
+{
+    std::string out;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    if (!f)
+        return out;
+    char chunk[4096];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        out.append(chunk, n);
+    std::fclose(f);
+    return out;
+}
+
+void
+writeAll(const std::string &path, const std::string &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << path;
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f),
+              bytes.size());
+    std::fclose(f);
 }
 
 // ---- canonical hashing -------------------------------------------------
@@ -368,6 +421,202 @@ TEST(ResultCache, SingleFlightDeduplicates)
     EXPECT_EQ(cache.counters().joins, 1u);
 }
 
+// ---- durable result cache ---------------------------------------------
+
+TEST(DurableCache, SpillsAndRestoresAcrossInstances)
+{
+    const std::string dir = tempCacheDir("durable");
+    const u64 key = 0x1998;
+    {
+        ResultCache cache(8, dir);
+        const auto out =
+            cache.getOrCompute(key, [] { return okResult("payload"); });
+        EXPECT_TRUE(out.ok);
+        EXPECT_FALSE(out.cached);
+        EXPECT_EQ(cache.counters().spills, 1u);
+    }
+
+    // A brand-new instance (a restarted daemon) must answer from disk
+    // without computing, and the disk hit must look like a cache hit.
+    ResultCache fresh(8, dir);
+    int calls = 0;
+    auto out = fresh.getOrCompute(key, [&] {
+        ++calls;
+        return okResult("never");
+    });
+    EXPECT_TRUE(out.ok);
+    EXPECT_TRUE(out.cached);
+    EXPECT_EQ(out.json, "payload");
+    EXPECT_EQ(out.hash, fnv1aHash("payload"));
+    EXPECT_EQ(calls, 0);
+    auto c = fresh.counters();
+    EXPECT_EQ(c.disk_hits, 1u);
+    EXPECT_EQ(c.misses, 0u);
+
+    // The restored entry now lives in memory: no second disk probe.
+    out = fresh.getOrCompute(key, [&] {
+        ++calls;
+        return okResult("never");
+    });
+    EXPECT_TRUE(out.cached);
+    EXPECT_EQ(calls, 0);
+    EXPECT_EQ(fresh.counters().disk_hits, 1u);
+    EXPECT_EQ(fresh.counters().hits, 1u);
+}
+
+TEST(DurableCache, ErrorsAreNeverSpilled)
+{
+    const std::string dir = tempCacheDir("errspill");
+    const u64 key = 0x7;
+    ResultCache cache(8, dir);
+    cache.getOrCompute(key, [] {
+        ComputedResult r;
+        r.error = "boom";
+        return r;
+    });
+    const std::string path = dir + "/" + hashHex(key) + ".dmtres";
+    struct stat st{};
+    EXPECT_NE(::stat(path.c_str(), &st), 0)
+        << "a failed compute must not leave a durable entry";
+    EXPECT_EQ(cache.counters().spills, 0u);
+}
+
+TEST(DurableCache, RejectsTornCorruptAndMisplacedFiles)
+{
+    const std::string dir = tempCacheDir("corrupt");
+    const u64 key = 11;
+    const std::string path = dir + "/" + hashHex(key) + ".dmtres";
+
+    const auto spill = [&] {
+        std::remove(path.c_str());
+        ResultCache c(8, dir);
+        c.getOrCompute(key,
+                       [] { return okResult("the canonical bytes"); });
+    };
+    // Load through a fresh instance; returns (recomputed?, counters).
+    const auto probe = [&](const char *label) {
+        ResultCache c(8, dir);
+        int calls = 0;
+        const auto out = c.getOrCompute(key, [&] {
+            ++calls;
+            return okResult("recomputed");
+        });
+        EXPECT_TRUE(out.ok) << label;
+        EXPECT_EQ(calls, 1) << label << ": corrupt file must be "
+                            << "rejected and the result recomputed";
+        EXPECT_EQ(out.json, "recomputed") << label;
+        const auto ctr = c.counters();
+        EXPECT_EQ(ctr.restore_rejected, 1u) << label;
+        EXPECT_EQ(ctr.disk_hits, 0u) << label;
+        EXPECT_EQ(ctr.spills, 1u)
+            << label << ": the recompute must rewrite the entry";
+    };
+
+    // Torn write: the file ends mid-payload (no intact footer).
+    spill();
+    std::string bytes = readAll(path);
+    ASSERT_GT(bytes.size(), 32u);
+    writeAll(path, bytes.substr(0, bytes.size() - 5));
+    probe("torn");
+
+    // The rewrite left a healthy file behind: next instance disk-hits.
+    {
+        ResultCache c(8, dir);
+        const auto out =
+            c.getOrCompute(key, [] { return okResult("never"); });
+        EXPECT_TRUE(out.cached);
+        EXPECT_EQ(out.json, "recomputed");
+        EXPECT_EQ(c.counters().disk_hits, 1u);
+    }
+
+    // Flipped payload bit: length intact, integrity footer mismatch.
+    spill();
+    bytes = readAll(path);
+    bytes[26] = static_cast<char>(bytes[26] ^ 0x40);
+    writeAll(path, bytes);
+    probe("bitflip");
+
+    // Wrong magic: a foreign or older-version file.
+    spill();
+    bytes = readAll(path);
+    bytes[0] = 'X';
+    writeAll(path, bytes);
+    probe("magic");
+
+    // A valid entry parked under the wrong key's filename (e.g. a
+    // botched manual copy) must not be served as that key.
+    spill();
+    const u64 other = 12;
+    const std::string other_path =
+        dir + "/" + hashHex(other) + ".dmtres";
+    writeAll(other_path, readAll(path));
+    {
+        ResultCache c(8, dir);
+        int calls = 0;
+        const auto out = c.getOrCompute(other, [&] {
+            ++calls;
+            return okResult("recomputed");
+        });
+        EXPECT_TRUE(out.ok);
+        EXPECT_EQ(calls, 1);
+        EXPECT_EQ(c.counters().restore_rejected, 1u);
+    }
+}
+
+// ---- wall-clock deadlines ----------------------------------------------
+
+TEST(Deadline, ExpiredDeadlineAbortsDetailedRun)
+{
+    SimConfig cfg = smallDmt();
+    cfg.max_retired = 50000; // long enough to cross a 4096-cycle granule
+    cfg.deadline = std::chrono::steady_clock::now()
+        - std::chrono::seconds(1);
+    try {
+        runWorkloadJob(cfg, "go", cfg.max_retired, SampleParams{});
+        FAIL() << "an expired deadline must abort the run";
+    } catch (const SimError &err) {
+        EXPECT_NE(std::string(err.what()).find("deadline expired"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(Deadline, ExpiredDeadlineAbortsSampledRun)
+{
+    SampleParams p;
+    std::string serr;
+    ASSERT_TRUE(SampleParams::parse("20000:200:500:2", &p, &serr));
+    SimConfig cfg = smallDmt();
+    cfg.max_retired = 0;
+    cfg.deadline = std::chrono::steady_clock::now()
+        - std::chrono::seconds(1);
+    clearCheckpointCache();
+    try {
+        runWorkloadJob(cfg, "go", 0, p);
+        FAIL() << "an expired deadline must abort the sampled run";
+    } catch (const SimError &err) {
+        EXPECT_NE(std::string(err.what()).find("deadline expired"),
+                  std::string::npos)
+            << err.what();
+    }
+    clearCheckpointCache();
+}
+
+TEST(Deadline, DisarmedByDefaultAndExcludedFromIdentity)
+{
+    SimConfig cfg = smallDmt();
+    EXPECT_FALSE(cfg.hasDeadline());
+    SimConfig armed = cfg;
+    armed.deadline = std::chrono::steady_clock::now()
+        + std::chrono::hours(1);
+    EXPECT_TRUE(armed.hasDeadline());
+    EXPECT_EQ(canonicalHash(cfg), canonicalHash(armed))
+        << "the deadline is scheduling state, not machine identity";
+    EXPECT_EQ(resultCacheKey(cfg, 1, SampleParams{}),
+              resultCacheKey(armed, 1, SampleParams{}))
+        << "two budgets for the same cell must share one cache entry";
+}
+
 // ---- live daemon -------------------------------------------------------
 
 class ServeEndToEnd : public ::testing::Test
@@ -542,6 +791,360 @@ TEST_F(ServeEndToEnd, ShutdownDrainsCleanly)
     ServeClient late;
     EXPECT_FALSE(late.connect(server->port(), &err, 0.0))
         << "a drained daemon must not accept new connections";
+}
+
+// ---- crash-safe durable service ---------------------------------------
+
+TEST(CrashRestart, RestartedDaemonRepliesFromDiskSimulatingNothing)
+{
+    const std::string dir = tempCacheDir("restart");
+    ServeOptions opts;
+    opts.port = 0;
+    opts.pool = 2;
+    opts.cache_entries = 64;
+    opts.drain_s = 10.0;
+    opts.cache_dir = dir;
+
+    const std::vector<std::string> workloads = {"go", "compress", "li"};
+    std::vector<std::string> first_raws;
+    {
+        Server server(opts);
+        std::string err;
+        ASSERT_TRUE(server.start(&err)) << err;
+        ServeClient c;
+        ASSERT_TRUE(c.connect(server.port(), &err, 2.0)) << err;
+        for (size_t i = 0; i < workloads.size(); ++i) {
+            JsonValue reply;
+            std::string raw;
+            ASSERT_TRUE(c.request(
+                runRequestLine(static_cast<i64>(i),
+                               smallJob(workloads[i])),
+                &reply, &err))
+                << err;
+            ASSERT_TRUE(reply.find("ok")->asBool()) << c.lastLine();
+            ASSERT_TRUE(extractRawResult(c.lastLine(), &raw));
+            first_raws.push_back(raw);
+        }
+        EXPECT_EQ(server.jobsSimulated(), workloads.size());
+        // The daemon dies here.  Every result was spilled at compute
+        // time with an atomic rename, so even a kill -9 at any point
+        // (the CI smoke does the real one) loses at most the job that
+        // was mid-flight — never an answered one.
+    }
+
+    Server revived(opts);
+    std::string err;
+    ASSERT_TRUE(revived.start(&err)) << err;
+    ServeClient c;
+    ASSERT_TRUE(c.connect(revived.port(), &err, 2.0)) << err;
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        JsonValue reply;
+        std::string raw;
+        ASSERT_TRUE(c.request(
+            runRequestLine(static_cast<i64>(i), smallJob(workloads[i])),
+            &reply, &err))
+            << err;
+        ASSERT_TRUE(reply.find("ok")->asBool()) << c.lastLine();
+        EXPECT_TRUE(reply.find("cached")->asBool())
+            << "a replayed cell must be served, not re-simulated";
+        ASSERT_TRUE(extractRawResult(c.lastLine(), &raw));
+        EXPECT_EQ(raw, first_raws[i])
+            << "disk replay must not alter a single byte";
+    }
+    EXPECT_EQ(revived.jobsSimulated(), 0u)
+        << "the whole replayed grid must come from disk";
+
+    JsonValue reply;
+    ASSERT_TRUE(c.request(simpleRequestLine("stats", 99), &reply, &err))
+        << err;
+    const JsonValue *cache = reply.find("stats")->find("cache");
+    ASSERT_NE(cache, nullptr);
+    EXPECT_EQ(cache->find("disk_hits")->asNumber(),
+              static_cast<double>(workloads.size()));
+    EXPECT_EQ(cache->find("misses")->asNumber(), 0.0);
+}
+
+TEST(Backpressure, FullQueueRepliesOverloadedAndDaemonSurvives)
+{
+    ServeOptions opts;
+    opts.port = 0;
+    opts.pool = 1;
+    opts.cache_entries = 64;
+    opts.drain_s = 10.0;
+    opts.queue_max = 1;
+    Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    ServeClient c;
+    ASSERT_TRUE(c.connect(server.port(), &err, 2.0)) << err;
+
+    // 24 distinct cells fired in one burst at a single worker with a
+    // one-deep queue: the worker cannot possibly drain 24 cold
+    // simulations while the burst is being parsed, so some requests
+    // must bounce with a structured "overloaded" reply.
+    constexpr int kJobs = 24;
+    for (int i = 0; i < kJobs; ++i) {
+        JobSpec job = smallJob();
+        job.cfg.max_retired = kBudget + static_cast<u64>(i);
+        job.max_retired = job.cfg.max_retired;
+        ASSERT_TRUE(
+            c.sendLine(runRequestLine(i, job), &err))
+            << err;
+    }
+    int ok = 0, overloaded = 0;
+    for (int i = 0; i < kJobs; ++i) {
+        JsonValue reply;
+        ASSERT_TRUE(c.recvReply(&reply, &err)) << err;
+        if (reply.find("ok")->asBool()) {
+            ++ok;
+            continue;
+        }
+        EXPECT_EQ(replyErrorKind(reply), errkind::kOverloaded)
+            << c.lastLine();
+        ++overloaded;
+    }
+    EXPECT_EQ(ok + overloaded, kJobs);
+    EXPECT_GT(ok, 0) << "an empty queue must accept work";
+    EXPECT_GT(overloaded, 0) << "a full queue must shed work";
+
+    // Rejection is per-request, not per-daemon: the service still
+    // answers, and the stats account for every rejection.
+    JsonValue reply;
+    ASSERT_TRUE(
+        c.request(simpleRequestLine("stats", 1000), &reply, &err))
+        << err;
+    EXPECT_EQ(reply.find("stats")->find("rejected_overload")->asNumber(),
+              static_cast<double>(overloaded));
+    JobSpec again = smallJob();
+    again.cfg.max_retired = kBudget;
+    ASSERT_TRUE(
+        c.request(runRequestLine(2000, again), &reply, &err))
+        << err;
+    EXPECT_TRUE(reply.find("ok")->asBool()) << c.lastLine();
+}
+
+TEST(DeadlineService, ExpiredJobsFailAloneWithDeadlineKind)
+{
+    ServeOptions opts;
+    opts.port = 0;
+    opts.pool = 1;
+    opts.cache_entries = 64;
+    opts.drain_s = 10.0;
+    Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    ServeClient c;
+    ASSERT_TRUE(c.connect(server.port(), &err, 2.0)) << err;
+
+    // Eight cold cells occupy the single worker for many milliseconds;
+    // the ninth job's 1 ms budget expires while it waits in queue (or,
+    // at worst, a few thousand cycles into its run — either way the
+    // reply kind is "deadline" and only that job fails).
+    constexpr int kBlockers = 8;
+    for (int i = 0; i < kBlockers; ++i) {
+        JobSpec job = smallJob("compress");
+        job.cfg.max_retired = kBudget + 100 + static_cast<u64>(i);
+        job.max_retired = job.cfg.max_retired;
+        ASSERT_TRUE(c.sendLine(runRequestLine(i, job), &err)) << err;
+    }
+    JobSpec doomed = smallJob("li");
+    doomed.cfg.max_retired = 50000;
+    doomed.max_retired = 50000;
+    doomed.deadline_ms = 1;
+    ASSERT_TRUE(c.sendLine(runRequestLine(100, doomed), &err)) << err;
+
+    int blockers_ok = 0;
+    bool doomed_failed = false;
+    for (int i = 0; i < kBlockers + 1; ++i) {
+        JsonValue reply;
+        ASSERT_TRUE(c.recvReply(&reply, &err)) << err;
+        const i64 id =
+            static_cast<i64>(reply.find("id")->asNumber());
+        if (id == 100) {
+            EXPECT_FALSE(reply.find("ok")->asBool());
+            EXPECT_EQ(replyErrorKind(reply), errkind::kDeadline)
+                << c.lastLine();
+            EXPECT_NE(reply.find("error")->asString().find(
+                          "deadline expired"),
+                      std::string::npos);
+            doomed_failed = true;
+        } else if (reply.find("ok")->asBool()) {
+            ++blockers_ok;
+        }
+    }
+    EXPECT_TRUE(doomed_failed);
+    EXPECT_EQ(blockers_ok, kBlockers)
+        << "a deadline kills one job, never its queue-mates";
+
+    JsonValue reply;
+    ASSERT_TRUE(
+        c.request(simpleRequestLine("stats", 101), &reply, &err))
+        << err;
+    EXPECT_GE(reply.find("stats")->find("deadline_expired")->asNumber(),
+              1.0);
+}
+
+TEST(DeadlineService, ProtocolCarriesDeadlineMs)
+{
+    JobSpec job = smallJob();
+    job.deadline_ms = 2500;
+    const std::string line = runRequestLine(1, job);
+    Request req;
+    std::string err;
+    ASSERT_TRUE(parseRequest(line, &req, &err)) << err;
+    EXPECT_EQ(req.job.deadline_ms, 2500u);
+
+    // Not part of the job identity: same cell, different budget.
+    JobSpec other = smallJob();
+    other.deadline_ms = 9000;
+    EXPECT_EQ(resultCacheKey(req.job.cfg, 1, req.job.sample),
+              resultCacheKey(other.cfg, 1, other.sample));
+}
+
+// ---- client resilience -------------------------------------------------
+
+TEST(ClientTimeout, SilentServerSurfacesDistinctTimeout)
+{
+    // A listener that accepts and then never speaks.
+    const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(lfd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)),
+              0);
+    ASSERT_EQ(::listen(lfd, 4), 0);
+    socklen_t len = sizeof(addr);
+    ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr *>(&addr),
+                            &len),
+              0);
+    const int port = ntohs(addr.sin_port);
+
+    ServeClient c;
+    std::string err;
+    ASSERT_TRUE(c.connect(port, &err, 1.0)) << err;
+    c.setTimeout(0.1);
+    std::string line;
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_FALSE(c.recvLine(&line, &err));
+    const double waited =
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - t0)
+            .count();
+    EXPECT_TRUE(c.timedOut()) << err;
+    EXPECT_NE(err.find("timeout"), std::string::npos) << err;
+    EXPECT_LT(waited, 2.0) << "the wait must be bounded";
+    ::close(lfd);
+}
+
+TEST(ClientRetry, GivesUpAgainstDeadPortAfterBoundedAttempts)
+{
+    // Grab an ephemeral port and close it so nothing listens there.
+    const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(lfd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)),
+              0);
+    socklen_t len = sizeof(addr);
+    ::getsockname(lfd, reinterpret_cast<sockaddr *>(&addr), &len);
+    const int dead_port = ntohs(addr.sin_port);
+    ::close(lfd);
+
+    ServeClient c;
+    RetryPolicy pol;
+    pol.attempts = 3;
+    pol.base_s = 0.01;
+    pol.max_s = 0.02;
+    JsonValue reply;
+    std::string err;
+    EXPECT_FALSE(c.requestWithRetry(dead_port,
+                                    simpleRequestLine("ping", 1), 1,
+                                    pol, &reply, &err));
+    EXPECT_NE(err.find("3 attempts"), std::string::npos) << err;
+}
+
+TEST_F(ServeEndToEnd, RetryAnswersFirstTimeAndAfterConnectionLoss)
+{
+    ServeClient c;
+    RetryPolicy pol;
+    pol.attempts = 5;
+    pol.base_s = 0.01;
+    pol.max_s = 0.05;
+    pol.op_timeout_s = 5.0;
+    JsonValue reply;
+    std::string err;
+    // Never connected: requestWithRetry owns the connection.
+    ASSERT_TRUE(c.requestWithRetry(server->port(),
+                                   runRequestLine(3, smallJob()), 3,
+                                   pol, &reply, &err))
+        << err;
+    EXPECT_TRUE(reply.find("ok")->asBool());
+
+    // Sever the connection behind the client's back; the next request
+    // must transparently reconnect and still verify result_hash.
+    c.close();
+    ASSERT_TRUE(c.requestWithRetry(server->port(),
+                                   runRequestLine(4, smallJob()), 4,
+                                   pol, &reply, &err))
+        << err;
+    EXPECT_TRUE(reply.find("ok")->asBool());
+    EXPECT_TRUE(reply.find("cached")->asBool());
+}
+
+// ---- protocol fuzz -----------------------------------------------------
+
+TEST_F(ServeEndToEnd, SeededGarbageNeverKillsTheDaemon)
+{
+    ServeClient c = makeClient();
+    std::string err;
+    Rng rng(20260808);
+    constexpr int kLines = 300;
+    const std::string valid = runRequestLine(1, smallJob());
+    for (int i = 0; i < kLines; ++i) {
+        std::string junk;
+        if (rng.chance(0.3)) {
+            // Truncated prefix of a well-formed request: the torn-line
+            // shape a crashed client or fault injector produces.
+            junk = valid.substr(0, 1 + rng.below(valid.size() - 1));
+        } else {
+            const u64 n = 1 + rng.below(120);
+            for (u64 j = 0; j < n; ++j) {
+                char ch = static_cast<char>(rng.below(256));
+                if (ch == '\n' || ch == '\r' || ch == '\0')
+                    ch = '?';
+                junk.push_back(ch);
+            }
+        }
+        ASSERT_TRUE(c.sendLine(junk, &err)) << err;
+    }
+    // Every junk line gets exactly one structured rejection, in order.
+    for (int i = 0; i < kLines; ++i) {
+        JsonValue reply;
+        ASSERT_TRUE(c.recvReply(&reply, &err)) << err << " line " << i;
+        EXPECT_FALSE(reply.find("ok")->asBool());
+        EXPECT_EQ(replyErrorKind(reply), errkind::kBadRequest)
+            << c.lastLine();
+    }
+
+    // An oversized line (no newline within the 1 MiB cap) costs that
+    // connection only.
+    ServeClient big = makeClient();
+    ASSERT_TRUE(big.sendLine(std::string(2u << 20, 'x'), &err)) << err;
+    JsonValue reply;
+    if (big.recvReply(&reply, &err)) {
+        EXPECT_FALSE(reply.find("ok")->asBool());
+        EXPECT_EQ(replyErrorKind(reply), errkind::kBadRequest);
+    }
+
+    // After all of it, a well-formed request on the original
+    // connection still gets a correct answer.
+    runJob(c, smallJob(), &reply, 9999);
+    EXPECT_TRUE(reply.find("ok")->asBool());
 }
 
 } // namespace
