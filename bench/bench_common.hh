@@ -54,20 +54,23 @@ struct SuiteSweep
 
 /**
  * Fan every (workload, machine) pair out over the sweep pool and
- * collect the cells in deterministic grid order — workloads in suite
- * order, machines in @p machines order — regardless of completion
- * order.  Failed cells (SimError) come back with ok == false; callers
- * decide row-skip policy.  Progress goes to stderr in completion order
- * unless DMT_BENCH_QUIET is set.
+ * collect the cells in deterministic grid order — workloads in
+ * @p workloads order, machines in @p machines order — regardless of
+ * completion order.  Workload names may be suite names or
+ * gen:<family>:<seed>[:knob=value...] generator specs (family sweeps:
+ * pass a list of specs varying one knob or the seed).  Failed cells
+ * (SimError) come back with ok == false; callers decide row-skip
+ * policy.  Progress goes to stderr in completion order unless
+ * DMT_BENCH_QUIET is set.
  */
 inline SuiteSweep
-sweepGrid(const std::vector<BenchColumn> &machines)
+sweepGrid(const std::vector<std::string> &workloads,
+          const std::vector<BenchColumn> &machines)
 {
     SweepRunner pool;
-    for (const WorkloadInfo &w : workloadSuite())
+    for (const std::string &w : workloads)
         for (const BenchColumn &m : machines)
-            pool.add(m.cfg, w.name, 0,
-                     std::string(w.name) + "/" + m.name);
+            pool.add(m.cfg, w, 0, w + "/" + m.name);
 
     SweepRunner::Progress progress;
     if (!benchQuiet()) {
@@ -97,7 +100,7 @@ sweepGrid(const std::vector<BenchColumn> &machines)
 
     SuiteSweep out;
     const size_t ncols = machines.size();
-    out.cells.resize(workloadSuite().size());
+    out.cells.resize(workloads.size());
     for (size_t wi = 0; wi < out.cells.size(); ++wi) {
         out.cells[wi].assign(flat.begin()
                                  + static_cast<long>(wi * ncols),
@@ -106,6 +109,16 @@ sweepGrid(const std::vector<BenchColumn> &machines)
     }
     out.stats = pool.stats();
     return out;
+}
+
+/** The whole benchmark suite x a machine list (suite-order rows). */
+inline SuiteSweep
+sweepGrid(const std::vector<BenchColumn> &machines)
+{
+    std::vector<std::string> names;
+    for (const WorkloadInfo &w : workloadSuite())
+        names.emplace_back(w.name);
+    return sweepGrid(names, machines);
 }
 
 /**

@@ -22,6 +22,7 @@
 #include "dmt/engine.hh"
 #include "exp/sampled.hh"
 #include "exp/sweep.hh"
+#include "workloads/generator.hh"
 #include "workloads/workloads.hh"
 
 namespace
@@ -61,6 +62,13 @@ main(int argc, char **argv)
         for (const WorkloadInfo &w : workloadSuite())
             std::printf("  %-10s mimics %-12s %s\n", w.name, w.mimics,
                         w.character);
+        std::printf("generated families "
+                    "(gen:<family>:<seed>[:knob=value...]):\n");
+        for (const GenFamilyInfo &f : genFamilies())
+            std::printf("  %-10s %-25s %s\n", f.name, f.knobs,
+                        f.character);
+        std::printf("  knobs: alias depth entropy trips units, e.g. "
+                    "gen:loopnest:7:trips=40:units=24\n");
         return 0;
     }
 

@@ -104,6 +104,12 @@ class DmtEngine : public OrderOracle
     /** Architectural (retired) register value. */
     u32 retiredReg(LogReg r) const { return retire_regs[r]; }
 
+    /** Architectural memory image.  Stores reach it only at final
+     *  retirement and loads never allocate pages, so after a completed
+     *  run it must equal a functional execution's memory sparse-page
+     *  exactly (the conformance harness relies on this). */
+    const MainMemory &memory() const { return mem; }
+
     /** Cache hierarchy (for cache statistics). */
     const MemHierarchy &hierarchy() const { return hier; }
 

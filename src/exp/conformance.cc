@@ -1,0 +1,163 @@
+#include "exp/conformance.hh"
+
+#include "common/strutil.hh"
+#include "dmt/engine.hh"
+#include "sim/functional.hh"
+#include "sim/mainmem.hh"
+#include "workloads/generator.hh"
+#include "workloads/workloads.hh"
+
+namespace dmt
+{
+
+namespace
+{
+
+/** Reference final state from a functional run-to-completion. */
+struct FunctionalFinal
+{
+    ArchState st;
+    MainMemory mem;
+    u64 steps = 0;
+};
+
+bool
+runReference(const Program &prog, u64 max_steps, FunctionalFinal *out,
+             std::string *detail)
+{
+    out->st.reset(prog);
+    out->mem.loadProgram(prog);
+    out->steps = runFunctional(out->st, out->mem, prog, max_steps);
+    if (!out->st.halted) {
+        *detail = strprintf("functional reference did not halt within "
+                            "%llu steps",
+                            static_cast<unsigned long long>(max_steps));
+        return false;
+    }
+    return true;
+}
+
+bool
+compareFinalState(const DmtEngine &engine, const FunctionalFinal &ref,
+                  std::string *detail)
+{
+    if (!engine.programCompleted()) {
+        *detail = strprintf("engine did not complete (retired %llu of "
+                            "%llu)",
+                            static_cast<unsigned long long>(
+                                engine.retiredTotal()),
+                            static_cast<unsigned long long>(ref.steps));
+        return false;
+    }
+    if (!engine.goldenOk()) {
+        *detail = "golden checker: " + engine.goldenError();
+        return false;
+    }
+    if (engine.retiredTotal() != ref.steps) {
+        *detail = strprintf("retired count %llu != functional steps "
+                            "%llu",
+                            static_cast<unsigned long long>(
+                                engine.retiredTotal()),
+                            static_cast<unsigned long long>(ref.steps));
+        return false;
+    }
+    for (LogReg r = 0; r < kNumLogRegs; ++r) {
+        if (engine.retiredReg(r) != ref.st.reg(r)) {
+            *detail = strprintf("register $%d: engine 0x%08x != "
+                                "functional 0x%08x", r,
+                                engine.retiredReg(r), ref.st.reg(r));
+            return false;
+        }
+    }
+    if (engine.outputStream() != ref.st.output) {
+        *detail = strprintf("OUT stream mismatch (engine %zu values, "
+                            "functional %zu)",
+                            engine.outputStream().size(),
+                            ref.st.output.size());
+        return false;
+    }
+    if (!(engine.memory() == ref.mem)) {
+        *detail = "final memory image differs from functional "
+                  "reference";
+        return false;
+    }
+    return true;
+}
+
+bool
+conformsOnRef(const SimConfig &cfg, const Program &prog,
+              const FunctionalFinal &ref, std::string *detail,
+              u64 *cycles)
+{
+    SimConfig run_cfg = cfg;
+    // Budget just past completion: a machine that loses instructions
+    // fails the retired-count compare instead of running away.
+    run_cfg.max_retired = ref.steps + 64;
+    DmtEngine engine(run_cfg, prog);
+    engine.run();
+    if (cycles)
+        *cycles = engine.now();
+    return compareFinalState(engine, ref, detail);
+}
+
+} // namespace
+
+bool
+conformsOn(const SimConfig &cfg, const std::string &workload,
+           u64 max_steps, std::string *detail, u64 *cycles)
+{
+    const Program prog = buildWorkload(workload);
+    FunctionalFinal ref;
+    if (!runReference(prog, max_steps, &ref, detail))
+        return false;
+    return conformsOnRef(cfg, prog, ref, detail, cycles);
+}
+
+ConformanceReport
+checkConformance(const std::string &workload,
+                 const ConformanceOptions &opts)
+{
+    ConformanceReport rep;
+    const Program prog = buildWorkload(workload);
+
+    FunctionalFinal ref;
+    std::string detail;
+    if (!runReference(prog, opts.max_steps, &ref, &detail)) {
+        rep.ok = false;
+        rep.detail = workload + ": " + detail;
+        return rep;
+    }
+    rep.functional_steps = ref.steps;
+
+    if (!conformsOnRef(SimConfig::baseline(), prog, ref, &detail,
+                       &rep.baseline_cycles)) {
+        rep.ok = false;
+        rep.detail = workload + " [baseline]: " + detail;
+        return rep;
+    }
+
+    const SimConfig dmt6 = SimConfig::dmt(6, 2);
+    if (!conformsOnRef(dmt6, prog, ref, &detail, &rep.dmt_cycles)) {
+        rep.ok = false;
+        rep.detail = workload + " [dmt6]: " + detail;
+        return rep;
+    }
+
+    if (opts.fault_storm) {
+        // All-site injection storm: faults corrupt speculative-only
+        // state, so recovery must land on the very same final state.
+        SimConfig storm = dmt6;
+        storm.fault.enabled = true;
+        storm.fault.seed = opts.fault_seed;
+        storm.fault.rateAll(opts.fault_rate);
+        if (!conformsOnRef(storm, prog, ref, &detail,
+                           &rep.storm_cycles)) {
+            rep.ok = false;
+            rep.detail = workload + " [dmt6+fault-storm]: " + detail;
+            return rep;
+        }
+    }
+    return rep;
+}
+
+} // namespace dmt

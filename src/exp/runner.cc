@@ -7,6 +7,7 @@
 #include "common/log.hh"
 #include "dmt/engine.hh"
 #include "exp/sampled.hh"
+#include "workloads/generator.hh"
 #include "workloads/workloads.hh"
 
 namespace dmt
@@ -103,9 +104,14 @@ runWorkload(const SimConfig &cfg, const std::string &workload,
 }
 
 RunResult
-runWorkloadJob(const SimConfig &cfg, const std::string &workload,
+runWorkloadJob(const SimConfig &cfg, const std::string &raw_workload,
                u64 max_retired, const SampleParams &sample)
 {
+    // One workload, one name: gen: specs normalize to their canonical
+    // spelling here so RunResult bytes, checkpoint-cache chains and
+    // golden files never depend on which alias the caller used.
+    const std::string workload = canonicalWorkloadName(raw_workload);
+
     if (sample.enabled())
         return runWorkloadSampled(cfg, workload, sample, max_retired);
 

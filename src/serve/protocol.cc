@@ -5,6 +5,7 @@
 #include "common/strutil.hh"
 #include "exp/report.hh"
 #include "exp/runner.hh"
+#include "workloads/generator.hh"
 #include "workloads/workloads.hh"
 
 namespace dmt
@@ -63,13 +64,29 @@ asBool(const JsonValue &v, bool *out, std::string *err, const char *what)
     return true;
 }
 
+/**
+ * Strict, never-fatal() workload-name validation: suite names must be
+ * known, gen: specs must fully parse (unknown families, malformed or
+ * out-of-range knobs, trailing garbage all reject with the parser's
+ * structured message).
+ */
 bool
-knownWorkload(const std::string &name)
+validWorkload(const std::string &name, std::string *e)
 {
+    if (isGenSpec(name)) {
+        GenParams p;
+        std::string gerr;
+        if (!parseGenSpec(name, &p, &gerr)) {
+            *e = "workload spec \"" + name + "\": " + gerr;
+            return false;
+        }
+        return true;
+    }
     for (const WorkloadInfo &w : workloadSuite()) {
         if (name == w.name)
             return true;
     }
+    *e = "unknown workload \"" + name + "\"";
     return false;
 }
 
@@ -187,10 +204,8 @@ checkJobSpec(const JobSpec &job, std::string *err)
     std::string &e = err ? *err : scratch;
     const SimConfig &c = job.cfg;
 
-    if (!knownWorkload(job.workload)) {
-        e = "unknown workload \"" + job.workload + "\"";
+    if (!validWorkload(job.workload, &e))
         return false;
-    }
     // Mirror of SimConfig::validate(), which fatal()s: every
     // constraint that would exit the process must reject here first.
     if (c.max_threads < 1 || c.max_threads > 64) {
@@ -305,6 +320,19 @@ parseRequest(std::string_view line, Request *out, std::string *err)
         return false;
     }
     job.workload = w->asString();
+    if (isGenSpec(job.workload)) {
+        // Normalize to the canonical spelling before anything keys on
+        // the name: the result cache stores RunResult bytes (which
+        // embed the workload string), so two spellings of one gen
+        // workload must collapse to one identity here, not later.
+        GenParams gp;
+        std::string gerr;
+        if (!parseGenSpec(job.workload, &gp, &gerr)) {
+            e = "workload spec \"" + job.workload + "\": " + gerr;
+            return false;
+        }
+        job.workload = gp.canonicalSpec();
+    }
 
     if (const JsonValue *s = jobv->find("sample")) {
         if (s->type() != JsonValue::Type::String) {

@@ -1,6 +1,7 @@
 #include "workloads/workloads.hh"
 
 #include "common/log.hh"
+#include "workloads/generator.hh"
 
 namespace dmt
 {
@@ -33,6 +34,8 @@ workloadSuite()
 Program
 buildWorkload(const std::string &name)
 {
+    if (isGenSpec(name))
+        return buildGenWorkload(name);
     for (const WorkloadInfo &w : workloadSuite()) {
         if (name == w.name)
             return w.build();

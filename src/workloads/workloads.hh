@@ -43,7 +43,11 @@ Program buildVortex();    ///< OO-database lookups (vortex)
 /** All suite workloads, in the paper's reporting order. */
 const std::vector<WorkloadInfo> &workloadSuite();
 
-/** Build a suite workload by name; fatal() on unknown names. */
+/**
+ * Build a workload by name: a suite name, or a generated-family spec
+ * "gen:<family>:<seed>[:knob=value...]" (see workloads/generator.hh).
+ * fatal() on unknown names and malformed specs.
+ */
 Program buildWorkload(const std::string &name);
 
 // ---- microkernels (tests and examples) --------------------------------

@@ -19,6 +19,7 @@
 #include "casm/builder.hh"
 #include "common/rng.hh"
 #include "sim/functional.hh"
+#include "workloads/generator.hh"
 
 namespace dmt
 {
@@ -210,6 +211,32 @@ class ProgramFuzzer
     std::vector<AsmBuilder::Label> funcs;
     AsmBuilder::Label scratch = 0;
 };
+
+/**
+ * Mixed corpus draw for fuzz and fault storms: a seeded, deterministic
+ * choice between a structured-random ProgramFuzzer program and a
+ * generated workload family with seeded knobs (workloads/generator.hh).
+ * Storms thereby also exercise the generator's structural shapes —
+ * recursion trees, aliasing streams, software queues, pointer chases,
+ * dispatch loops — which the random corpus cannot produce.
+ */
+inline Program
+fuzzCorpusProgram(u64 seed)
+{
+    Rng pick(seed * 0x9e3779b97f4a7c15ull + 0xC0FFEEull);
+    if (pick.below(2) == 0)
+        return ProgramFuzzer(seed).generate();
+    const auto &fams = genFamilies();
+    GenParams p;
+    p.family = fams[pick.below(fams.size())].name;
+    p.seed = seed;
+    p.depth = 2 + static_cast<int>(pick.below(4));
+    p.trips = 3 + static_cast<int>(pick.below(12));
+    p.entropy = static_cast<int>(pick.below(101));
+    p.alias = static_cast<int>(pick.below(101));
+    p.units = 6 + static_cast<int>(pick.below(30));
+    return buildGenWorkload(p);
+}
 
 /** Reference output stream from the functional simulator. */
 inline std::vector<u32>

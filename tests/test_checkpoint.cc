@@ -392,6 +392,45 @@ TEST(Sampled, GoldenSignature)
            "if intentional, regenerate with DMT_UPDATE_GOLDEN=1";
 }
 
+TEST(Sampled, GeneratedFamilyCpiBracketsFullDetail)
+{
+    // A long generated loop nest (~hundreds of thousands of
+    // instructions) run twice: once full-detail, once interval
+    // sampled.  The sampled CPI estimate must bracket the full-detail
+    // CPI within its own 95% confidence interval (plus a small
+    // absolute guard for the warmup-boundary bias of short windows) —
+    // the agreement contract that makes sampled family sweeps
+    // trustworthy.
+    const std::string spec = "gen:loopnest:21:trips=200:units=48";
+    const SimConfig cfg = SimConfig::dmt(6, 2);
+
+    clearCheckpointCache();
+    const RunResult full = runWorkload(cfg, spec, 2000000);
+    ASSERT_TRUE(full.completed);
+    ASSERT_GT(full.retired, 200000u) << "workload too short to sample";
+    const double full_cpi = static_cast<double>(full.cycles) /
+                            static_cast<double>(full.retired);
+
+    SampleParams p;
+    p.skip = 20000;
+    p.warm = 500;
+    p.measure = 2000;
+
+    clearCheckpointCache();
+    const RunResult s = runWorkloadSampled(cfg, spec, p);
+    clearCheckpointCache();
+    ASSERT_TRUE(s.completed);
+    EXPECT_GE(s.sampling.intervals, 5u);
+    EXPECT_GE(s.sampling.covered, full.retired);
+    ASSERT_GT(s.sampling.cpi_mean, 0.0);
+
+    EXPECT_NEAR(s.sampling.cpi_mean, full_cpi,
+                s.sampling.cpi_ci95 + 0.03)
+        << "sampled CPI " << s.sampling.cpi_mean << " +- "
+        << s.sampling.cpi_ci95 << " does not bracket full-detail CPI "
+        << full_cpi;
+}
+
 TEST(Sampled, EnvKnobParsing)
 {
     setenv("DMT_SAMPLE", "1000:200:300", 1);

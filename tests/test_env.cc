@@ -19,6 +19,8 @@
 #include "exp/runner.hh"
 #include "serve/faultnet.hh"
 #include "serve/server.hh"
+#include "workloads/generator.hh"
+#include "workloads/workloads.hh"
 
 namespace dmt
 {
@@ -288,6 +290,102 @@ TEST(FaultNetEnv, ReadsValidValues)
     setenv("DMT_FAULTNET", "1", 1);
     EXPECT_EQ(parseEnvU64("DMT_FAULTNET", 0, 0, 1), 1u);
     clearFaultNetEnv();
+}
+
+// ---------------------------------------------------------------------
+// gen:<family>:<seed> workload-spec parsing: parseGenSpec() is the
+// strict non-fatal layer the daemon relies on; buildWorkload() and
+// canonicalWorkloadName() wrap it with fatal() for the local CLI.
+// ---------------------------------------------------------------------
+
+TEST(GenSpec, CanonicalSpecRoundTripsThroughParse)
+{
+    for (const GenFamilyInfo &fam : genFamilies()) {
+        GenParams p;
+        p.family = fam.name;
+        p.seed = 97;
+        p.depth = 6;
+        p.trips = 33;
+        p.entropy = 12;
+        p.alias = 88;
+        p.units = 40;
+
+        GenParams q;
+        std::string err;
+        ASSERT_TRUE(parseGenSpec(p.canonicalSpec(), &q, &err))
+            << fam.name << ": " << err;
+        EXPECT_EQ(q.family, p.family);
+        EXPECT_EQ(q.seed, p.seed);
+        EXPECT_EQ(q.depth, p.depth);
+        EXPECT_EQ(q.trips, p.trips);
+        EXPECT_EQ(q.entropy, p.entropy);
+        EXPECT_EQ(q.alias, p.alias);
+        EXPECT_EQ(q.units, p.units);
+        EXPECT_EQ(q.canonicalSpec(), p.canonicalSpec());
+    }
+
+    // The minimal spelling parses to the documented knob defaults and
+    // canonicalizes to the fully explicit form.
+    GenParams q;
+    std::string err;
+    ASSERT_TRUE(parseGenSpec("gen:loopnest:5", &q, &err)) << err;
+    EXPECT_EQ(q.canonicalSpec(),
+              "gen:loopnest:5:alias=25:depth=4:entropy=50:trips=8:"
+              "units=16");
+}
+
+TEST(GenSpec, IsGenSpecOnlyMatchesThePrefix)
+{
+    EXPECT_TRUE(isGenSpec("gen:loopnest:1"));
+    EXPECT_TRUE(isGenSpec("  gen:branchy:7:trips=3  "));
+    EXPECT_FALSE(isGenSpec("go"));
+    EXPECT_FALSE(isGenSpec("general"));
+    EXPECT_FALSE(isGenSpec(""));
+}
+
+TEST(GenSpec, EveryRejectionClassYieldsAStructuredError)
+{
+    const struct
+    {
+        const char *spec;
+        const char *needle; ///< must appear in the error message
+    } cases[] = {
+        {"gen", "must be gen:<family>:<seed>"},
+        {"gen:loopnest", "must be gen:<family>:<seed>"},
+        {"gen:nosuchfamily:1", "unknown workload family"},
+        {"gen:nosuchfamily:1", "loopnest"}, // lists the families
+        {"gen::1", "unknown workload family"},
+        {"gen:loopnest:xyz", "bad seed"},
+        {"gen:loopnest:3junk", "bad seed"},
+        {"gen:loopnest:1:trips", "need knob=value"},
+        {"gen:loopnest:1:=5", "need knob=value"},
+        {"gen:loopnest:1:speed=5", "unknown knob"},
+        {"gen:loopnest:1:trips=4:trips=5", "duplicate knob"},
+        {"gen:loopnest:1:trips=4x", "bad value"},
+        {"gen:loopnest:1:trips=0", "out of range"},
+        {"gen:loopnest:1:trips=999999999", "out of range"},
+        {"gen:loopnest:1:", "need knob=value"}, // trailing colon
+    };
+    for (const auto &c : cases) {
+        GenParams p;
+        std::string err;
+        EXPECT_FALSE(parseGenSpec(c.spec, &p, &err)) << c.spec;
+        EXPECT_NE(err.find(c.needle), std::string::npos)
+            << c.spec << " -> \"" << err << "\"";
+    }
+
+    // A null err sink must be tolerated (callers that only branch).
+    GenParams p;
+    EXPECT_FALSE(parseGenSpec("gen:loopnest:xyz", &p, nullptr));
+}
+
+TEST(GenSpecDeath, MalformedSpecsAreFatalInTheLocalCli)
+{
+    EXPECT_DEATH(buildWorkload("gen:nosuchfamily:1"),
+                 "unknown workload family");
+    EXPECT_DEATH(buildGenWorkload(std::string("gen:loopnest:1:trips=0")),
+                 "out of range");
+    EXPECT_DEATH(canonicalWorkloadName("gen:loopnest:xyz"), "bad seed");
 }
 
 TEST(FaultNetEnvDeath, GarbageAndRangeAreFatal)

@@ -158,6 +158,33 @@ TEST(FaultStorm, AllSitesStormRetiresGoldenCleanViaRecovery)
            "walks, not silently absorbed";
 }
 
+// Same all-site storm over the mixed corpus (fuzzCorpusProgram):
+// seeded draws alternate between random programs and generated
+// workload families, so recovery also faces queues, pointer chases
+// and dispatch loops under injection.
+TEST(FaultStorm, MixedCorpusStormRetiresGoldenClean)
+{
+    u64 injected = 0;
+    for (int seed = 0; seed < 10; ++seed) {
+        const Program prog =
+            fuzzCorpusProgram(static_cast<u64>(seed) * 6271 + 5);
+        const std::vector<u32> want = fuzzGolden(prog);
+
+        SimConfig cfg = SimConfig::dmt(6, 2);
+        cfg.fault.enabled = true;
+        cfg.fault.seed = 0xD00D + static_cast<u64>(seed);
+        cfg.fault.rateAll(0.03);
+        DmtEngine e(cfg, prog);
+        e.run();
+        ASSERT_TRUE(e.programCompleted()) << "storm seed " << seed;
+        ASSERT_TRUE(e.goldenOk())
+            << "storm seed " << seed << ": " << e.goldenError();
+        EXPECT_EQ(e.outputStream(), want) << "storm seed " << seed;
+        injected += e.faults().injectedTotal();
+    }
+    EXPECT_GT(injected, 0u) << "the storm never injected anything";
+}
+
 // Workload-scale storm at the 1% floor: thousands of injections across
 // every site on a real benchmark must still retire golden-clean.
 TEST(FaultStorm, WorkloadStormAtOnePercentIsGoldenClean)

@@ -60,5 +60,39 @@ TEST_P(FuzzDifferential, AllMachinesAgree)
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential,
                          ::testing::Range(0, 30));
 
+/** Same differential contract over the mixed corpus: seeded draws
+ *  alternate between random programs and generated workload families,
+ *  so the machines also face the generator's structural shapes. */
+class MixedCorpusDifferential : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MixedCorpusDifferential, AllMachinesAgree)
+{
+    const Program prog =
+        fuzzCorpusProgram(static_cast<u64>(GetParam()) * 6271 + 5);
+    const std::vector<u32> want = fuzzGolden(prog);
+
+    const std::vector<SimConfig> configs = {
+        SimConfig::baseline(),
+        SimConfig::dmt(4, 2),
+        SimConfig::dmt(6, 2),
+    };
+    for (const SimConfig &cfg : configs) {
+        DmtEngine e(cfg, prog);
+        e.run();
+        ASSERT_TRUE(e.programCompleted())
+            << "seed " << GetParam() << " cfg " << cfg.summary();
+        ASSERT_TRUE(e.goldenOk())
+            << "seed " << GetParam() << " cfg " << cfg.summary() << ": "
+            << e.goldenError();
+        EXPECT_EQ(e.outputStream(), want)
+            << "seed " << GetParam() << " cfg " << cfg.summary();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixedCorpusDifferential,
+                         ::testing::Range(0, 20));
+
 } // namespace
 } // namespace dmt

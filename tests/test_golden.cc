@@ -191,6 +191,137 @@ TEST(Golden, SuiteMatchesCheckedInSignatures)
     }
 }
 
+// ---- generated-family signatures ---------------------------------------
+
+/** One pinned seed per generated family plus a knob-variant: the
+ *  generator's emission and the machines' timing on it are both under
+ *  regression control.  File names are the spec with ':'/'=' made
+ *  filesystem-tame. */
+struct PinnedGen
+{
+    const char *key;  ///< golden file stem (tests/golden/<key>.json)
+    const char *spec; ///< canonical gen: workload spec
+};
+
+std::vector<PinnedGen>
+genPinned()
+{
+    return {
+        {"gen_calltree_11",
+         "gen:calltree:11:alias=25:depth=6:entropy=70:trips=8:units=24"},
+        {"gen_loopnest_7",
+         "gen:loopnest:7:alias=25:depth=4:entropy=50:trips=40:units=24"},
+        {"gen_branchy_5",
+         "gen:branchy:5:alias=25:depth=4:entropy=50:trips=60:units=16"},
+        {"gen_alias_9",
+         "gen:alias:9:alias=60:depth=4:entropy=50:trips=400:units=256"},
+        {"gen_prodcons_3",
+         "gen:prodcons:3:alias=25:depth=4:entropy=50:trips=8:units=96"},
+        {"gen_ptrchase_13",
+         "gen:ptrchase:13:alias=25:depth=4:entropy=50:trips=600:"
+         "units=64"},
+        {"gen_evloop_17",
+         "gen:evloop:17:alias=50:depth=4:entropy=80:trips=8:units=120"},
+        // Knob-variant: the same family at a second point of the knob
+        // space must pin to a different signature.
+        {"gen_calltree_29",
+         "gen:calltree:29:alias=80:depth=4:entropy=20:trips=8:units=24"},
+    };
+}
+
+TEST(Golden, GeneratedFamiliesMatchCheckedInSignatures)
+{
+    const std::vector<PinnedGen> pinned = genPinned();
+    const std::vector<Machine> mach = machines();
+
+    SweepRunner runner;
+    for (const PinnedGen &p : pinned)
+        for (const Machine &m : mach)
+            runner.add(m.cfg, p.spec, kGoldenBudget,
+                       std::string(p.key) + "/" + m.key);
+    const auto &cells = runner.run();
+    for (const SweepCell &cell : cells)
+        ASSERT_TRUE(cell.ok) << cell.error;
+
+    if (updateRequested()) {
+        for (size_t pi = 0; pi < pinned.size(); ++pi) {
+            JsonWriter w;
+            w.beginObject();
+            w.key("workload").value(pinned[pi].spec);
+            w.key("max_retired").value(kGoldenBudget);
+            for (size_t mi = 0; mi < mach.size(); ++mi) {
+                w.key(mach[mi].key);
+                signatureOn(w, cells[pi * mach.size() + mi].result);
+            }
+            w.endObject();
+            std::ofstream out(goldenPath(pinned[pi].key));
+            ASSERT_TRUE(out.good()) << goldenPath(pinned[pi].key);
+            out << w.str() << "\n";
+        }
+        GTEST_SKIP() << "generated-family signatures regenerated in "
+                     << DMT_GOLDEN_DIR;
+    }
+
+    for (size_t pi = 0; pi < pinned.size(); ++pi) {
+        const std::string path = goldenPath(pinned[pi].key);
+        std::ifstream in(path);
+        ASSERT_TRUE(in.good())
+            << path << " missing; regenerate with DMT_UPDATE_GOLDEN=1";
+        std::ostringstream buf;
+        buf << in.rdbuf();
+
+        JsonValue doc;
+        std::string err;
+        ASSERT_TRUE(JsonValue::parse(buf.str(), &doc, &err))
+            << path << ": " << err;
+        const JsonValue *spec = doc.find("workload");
+        ASSERT_NE(spec, nullptr) << path;
+        ASSERT_EQ(spec->asString(), pinned[pi].spec)
+            << path << " pins a different spec";
+        const JsonValue *budget = doc.find("max_retired");
+        ASSERT_NE(budget, nullptr) << path;
+        ASSERT_EQ(static_cast<u64>(budget->asNumber()), kGoldenBudget)
+            << path << " was generated at a different run length";
+
+        for (size_t mi = 0; mi < mach.size(); ++mi) {
+            const JsonValue *sig = doc.find(mach[mi].key);
+            ASSERT_NE(sig, nullptr)
+                << path << " has no '" << mach[mi].key << "' signature";
+            const auto diffs = diffSignature(
+                *sig, cells[pi * mach.size() + mi].result);
+            std::ostringstream os;
+            for (const std::string &d : diffs)
+                os << "\n  " << d;
+            EXPECT_TRUE(diffs.empty())
+                << pinned[pi].key << "/" << mach[mi].key
+                << " drifted from its golden signature:" << os.str()
+                << "\nIf intentional, regenerate with "
+                   "DMT_UPDATE_GOLDEN=1.";
+        }
+    }
+}
+
+TEST(Golden, GeneratedPerturbationIsDetected)
+{
+    // The comparator must be as airtight on generated workloads as on
+    // the suite: one cycle of drift on a gen: spec fails.
+    const RunResult r = runWorkload(SimConfig::dmt(4, 2),
+                                    genPinned()[1].spec, 5000);
+
+    JsonWriter w;
+    signatureOn(w, r);
+    JsonValue sig;
+    ASSERT_TRUE(JsonValue::parse(w.str(), &sig, nullptr));
+    EXPECT_TRUE(diffSignature(sig, r).empty())
+        << "a run must match its own signature";
+
+    RunResult bumped = r;
+    bumped.cycles += 1;
+    const auto diffs = diffSignature(sig, bumped);
+    ASSERT_EQ(diffs.size(), 1u);
+    EXPECT_NE(diffs[0].find("cycles"), std::string::npos) << diffs[0];
+}
+
 TEST(Golden, OneCyclePerturbationIsDetected)
 {
     // The comparator itself must be airtight: serialize a run's own
