@@ -20,6 +20,7 @@
 
 #include "common/env.hh"
 #include "sim/functional_core.hh"
+#include "workloads/generator.hh"
 
 namespace
 {
@@ -48,6 +49,125 @@ sweepOnce(const dmt::SimConfig &cfg, std::vector<dmt::SweepCell> *cells)
             panic("simspeed: %s", cell.error.c_str());
     }
     return pool.stats();
+}
+
+/** One fast-forward workload's share of a functional sweep. */
+struct FuncRow
+{
+    std::string name;
+    dmt::u64 instr = 0;
+    double wall_s = 0.0;
+};
+
+/** Best-rep result of one fast-forward engine over the ff suite. */
+struct FuncSpeed
+{
+    double minstr_per_s = 0.0;
+    double wall_s = 0.0;
+    dmt::u64 instr = 0;
+    dmt::TranslationStats xstats; ///< translated mode only
+    std::vector<FuncRow> rows;
+};
+
+/** The fast-forward measurement suite: the 8 microkernels plus one
+ *  instance of each generated family, knobs sized so a single program
+ *  run is long enough (hundreds of thousands to millions of
+ *  instructions) that execution, not program setup, is measured. */
+std::vector<std::string>
+ffSpecs()
+{
+    using namespace dmt;
+    std::vector<std::string> specs;
+    for (const WorkloadInfo &w : workloadSuite())
+        specs.emplace_back(w.name);
+    specs.emplace_back("gen:calltree:1:units=8192");
+    specs.emplace_back("gen:loopnest:1:trips=20000");
+    specs.emplace_back("gen:branchy:1:trips=50000");
+    specs.emplace_back("gen:alias:1:trips=100000");
+    specs.emplace_back("gen:prodcons:1:units=65536");
+    specs.emplace_back("gen:ptrchase:1:trips=100000:units=4096");
+    specs.emplace_back("gen:evloop:1:units=65536");
+    return specs;
+}
+
+/** Run one workload on one engine: repeat {reset; run to completion}
+ *  until at least @p floor_instr instructions retire, so short kernels
+ *  don't reduce the sample to timer noise and the translated engine is
+ *  measured at steady state (the translation cache survives reset()).
+ *  Times the run() calls only: fast-forward throughput is about
+ *  executing instructions, and the sampled-run / checkpoint consumers
+ *  pay reset()+loadProgram() once per workload, not once per 8M
+ *  instructions. */
+FuncRow
+runFfRow(dmt::FfMode mode, const std::string &spec,
+         dmt::u64 floor_instr, dmt::TranslationStats *xstats)
+{
+    using namespace dmt;
+    const Program prog = buildWorkload(spec);
+    FunctionalCore core(prog);
+    core.setMode(mode);
+    FuncRow row;
+    row.name = canonicalWorkloadName(spec);
+    while (row.instr < floor_instr) {
+        core.reset();
+        const auto t0 = std::chrono::steady_clock::now();
+        core.run(~u64{0});
+        row.wall_s += std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        row.instr += core.instrCount();
+    }
+    *xstats += core.translationStats();
+    return row;
+}
+
+/**
+ * One repetition over both fast-forward engines, interleaved per
+ * workload: each spec runs on the interpreter and then immediately on
+ * the translated engine, so transient host load degrades both numbers
+ * alike and the reported speedup is a like-for-like ratio instead of
+ * the quotient of two separately-noisy measurements.
+ */
+void
+measureFunctionalRep(const std::vector<std::string> &specs,
+                     dmt::u64 floor_instr, FuncSpeed *interp,
+                     FuncSpeed *xlat)
+{
+    using namespace dmt;
+    for (const std::string &spec : specs) {
+        interp->rows.push_back(runFfRow(FfMode::Interp, spec,
+                                        floor_instr, &interp->xstats));
+        xlat->rows.push_back(runFfRow(FfMode::Translated, spec,
+                                      floor_instr, &xlat->xstats));
+    }
+    for (FuncSpeed *f : {interp, xlat}) {
+        for (const FuncRow &row : f->rows) {
+            f->instr += row.instr;
+            f->wall_s += row.wall_s;
+        }
+        f->minstr_per_s =
+            f->wall_s > 0.0 ? f->instr / f->wall_s / 1e6 : 0.0;
+    }
+}
+
+void
+funcJsonOn(dmt::JsonWriter &w, const FuncSpeed &f)
+{
+    w.key("minstr_per_s").value(f.minstr_per_s);
+    w.key("wall_s").value(f.wall_s);
+    w.key("instr").value(f.instr);
+    w.key("workloads").beginArray();
+    for (const FuncRow &row : f.rows) {
+        w.beginObject();
+        w.key("workload").value(std::string_view(row.name));
+        w.key("instr").value(row.instr);
+        w.key("wall_s").value(row.wall_s);
+        w.key("minstr_per_s")
+            .value(row.wall_s > 0.0 ? row.instr / row.wall_s / 1e6
+                                    : 0.0);
+        w.endObject();
+    }
+    w.endArray();
 }
 
 } // namespace
@@ -90,43 +210,57 @@ benchMain()
         }
     }
 
-    // Functional fast-forward throughput: full-program FunctionalCore
-    // runs — the engine behind the checkpointed skip distance in
-    // sampled mode (DMT_SAMPLE), so its ratio over dmt6 bounds how much
-    // of a sampled run's wall clock the skips can cost.
-    double func_mips = 0.0;
-    double func_wall = 0.0;
-    u64 func_instr = 0;
+    // Functional fast-forward throughput: repeated full-program
+    // FunctionalCore runs — the engine behind the checkpointed skip
+    // distance in sampled mode (DMT_SAMPLE), so its ratio over dmt6
+    // bounds how much of a sampled run's wall clock the skips can
+    // cost.  Both engines (DMT_FF_MODE) are measured over the 8-kernel
+    // suite plus one instance of each generated family.
+    const std::vector<std::string> specs = ffSpecs();
+    const u64 ff_floor = std::max<u64>(budget, 8'000'000);
+    FuncSpeed interp, xlat;
     for (u64 rep = 0; rep < reps; ++rep) {
-        double wall = 0.0;
-        u64 instr = 0;
-        for (const WorkloadInfo &w : workloadSuite()) {
-            const Program prog = buildWorkload(w.name);
-            FunctionalCore core(prog);
-            const auto t0 = std::chrono::steady_clock::now();
-            core.run(~u64{0});
-            wall += std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count();
-            instr += core.instrCount();
-        }
-        const double mips = wall > 0.0 ? instr / wall / 1e6 : 0.0;
+        FuncSpeed ci, cx;
+        measureFunctionalRep(specs, ff_floor, &ci, &cx);
         if (!benchQuiet()) {
             std::fprintf(stderr,
-                         "simspeed: functional rep %llu/%llu: %.3f "
-                         "Minstr/s (%.2fs wall, full programs)\n",
+                         "simspeed: functional rep %llu/%llu: "
+                         "interp %.3f, translated %.3f Minstr/s "
+                         "(%.2fx)\n",
                          static_cast<unsigned long long>(rep + 1),
-                         static_cast<unsigned long long>(reps), mips,
-                         wall);
+                         static_cast<unsigned long long>(reps),
+                         ci.minstr_per_s, cx.minstr_per_s,
+                         ci.minstr_per_s > 0.0
+                             ? cx.minstr_per_s / ci.minstr_per_s
+                             : 0.0);
         }
-        if (mips > func_mips) {
-            func_mips = mips;
-            func_wall = wall;
-            func_instr = instr;
-        }
+        if (ci.minstr_per_s > interp.minstr_per_s)
+            interp = std::move(ci);
+        if (cx.minstr_per_s > xlat.minstr_per_s)
+            xlat = std::move(cx);
     }
     const double ff_ratio = machines[1].minstr_per_s > 0.0
-        ? func_mips / machines[1].minstr_per_s : 0.0;
+        ? xlat.minstr_per_s / machines[1].minstr_per_s : 0.0;
+    const double xlat_ratio = interp.minstr_per_s > 0.0
+        ? xlat.minstr_per_s / interp.minstr_per_s : 0.0;
+
+    if (!benchQuiet()) {
+        const TranslationStats &xs = xlat.xstats;
+        std::fprintf(
+            stderr,
+            "translation cache: %llu block(s) translated (%llu "
+            "retranslation(s), %llu eviction(s)), %llu chain hit(s) / "
+            "%llu miss(es), %llu indirect hit(s) / %llu miss(es), "
+            "%llu block(s) executed\n",
+            static_cast<unsigned long long>(xs.blocks_translated),
+            static_cast<unsigned long long>(xs.retranslations),
+            static_cast<unsigned long long>(xs.evictions),
+            static_cast<unsigned long long>(xs.chain_hits),
+            static_cast<unsigned long long>(xs.chain_misses),
+            static_cast<unsigned long long>(xs.indirect_hits),
+            static_cast<unsigned long long>(xs.indirect_misses),
+            static_cast<unsigned long long>(xs.blocks_executed));
+    }
 
     // Aggregate over machines: total simulated work over total time,
     // each machine contributing its best rep.
@@ -143,20 +277,24 @@ benchMain()
                 "%llu instr/run\n",
                 static_cast<unsigned long long>(reps),
                 static_cast<unsigned long long>(budget));
-    std::printf("%-10s %12s %10s %12s\n", "machine", "Minstr/s",
+    std::printf("%-21s %12s %10s %12s\n", "machine", "Minstr/s",
                 "wall_s", "retired");
     for (const MachineSpeed &m : machines) {
-        std::printf("%-10s %12.3f %10.2f %12llu\n", m.name.c_str(),
+        std::printf("%-21s %12.3f %10.2f %12llu\n", m.name.c_str(),
                     m.minstr_per_s, m.wall_s,
                     static_cast<unsigned long long>(m.retired));
     }
-    std::printf("%-10s %12.3f %10.2f %12llu\n", "aggregate", aggregate,
+    std::printf("%-21s %12.3f %10.2f %12llu\n", "aggregate", aggregate,
                 total_wall,
                 static_cast<unsigned long long>(total_retired));
-    std::printf("%-10s %12.3f %10.2f %12llu  (full programs, "
+    std::printf("%-21s %12.3f %10.2f %12llu  (full programs)\n",
+                "functional", interp.minstr_per_s, interp.wall_s,
+                static_cast<unsigned long long>(interp.instr));
+    std::printf("%-21s %12.3f %10.2f %12llu  (%.2fx interp, "
                 "%.0fx dmt6)\n",
-                "functional", func_mips, func_wall,
-                static_cast<unsigned long long>(func_instr), ff_ratio);
+                "functional_translated", xlat.minstr_per_s, xlat.wall_s,
+                static_cast<unsigned long long>(xlat.instr), xlat_ratio,
+                ff_ratio);
 
     JsonWriter w;
     w.beginObject();
@@ -166,10 +304,28 @@ benchMain()
     w.key("aggregate_minstr_per_s").value(aggregate);
     w.key("functional");
     w.beginObject();
-    w.key("minstr_per_s").value(func_mips);
-    w.key("wall_s").value(func_wall);
-    w.key("instr").value(func_instr);
+    funcJsonOn(w, interp);
+    w.key("speedup_vs_dmt6")
+        .value(machines[1].minstr_per_s > 0.0
+                   ? interp.minstr_per_s / machines[1].minstr_per_s
+                   : 0.0);
+    w.endObject();
+    w.key("functional_translated");
+    w.beginObject();
+    funcJsonOn(w, xlat);
+    w.key("speedup_vs_interp").value(xlat_ratio);
     w.key("speedup_vs_dmt6").value(ff_ratio);
+    w.key("cache");
+    w.beginObject();
+    w.key("blocks_translated").value(xlat.xstats.blocks_translated);
+    w.key("retranslations").value(xlat.xstats.retranslations);
+    w.key("evictions").value(xlat.xstats.evictions);
+    w.key("chain_hits").value(xlat.xstats.chain_hits);
+    w.key("chain_misses").value(xlat.xstats.chain_misses);
+    w.key("indirect_hits").value(xlat.xstats.indirect_hits);
+    w.key("indirect_misses").value(xlat.xstats.indirect_misses);
+    w.key("blocks_executed").value(xlat.xstats.blocks_executed);
+    w.endObject();
     w.endObject();
     w.key("machines").beginArray();
     for (const MachineSpeed &m : machines) {

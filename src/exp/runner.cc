@@ -23,8 +23,14 @@ SampleSummary::jsonOn(JsonWriter &w, bool include_timing) const
     w.key("intervals").value(intervals);
     w.key("covered").value(covered);
     w.key("functional_instr").value(functional_instr);
-    if (include_timing)
+    if (include_timing) {
         w.key("func_wall_s").value(func_wall_s);
+        w.key("ff_mode").value(std::string_view(ff_mode));
+        w.key("ff_blocks_translated").value(ff_blocks_translated);
+        w.key("ff_retranslations").value(ff_retranslations);
+        w.key("ff_evictions").value(ff_evictions);
+        w.key("ff_chain_hits").value(ff_chain_hits);
+    }
     w.key("cpi_mean").value(cpi_mean);
     w.key("cpi_sd").value(cpi_sd);
     w.key("cpi_ci95").value(cpi_ci95);

@@ -49,6 +49,16 @@ struct SampleSummary
     /** Host seconds this run spent advancing the functional cursor
      *  (excluded from the canonical JSON, like all host timing). */
     double func_wall_s = 0.0;
+    /** Fast-forward engine telemetry (DMT_FF_MODE and, for the
+     *  translated engine, translation-cache counters accumulated over
+     *  this run's fast-forwards).  Host-side diagnostics: excluded
+     *  from the canonical JSON so results stay byte-identical across
+     *  engines. */
+    std::string ff_mode;
+    u64 ff_blocks_translated = 0;
+    u64 ff_retranslations = 0;
+    u64 ff_evictions = 0;
+    u64 ff_chain_hits = 0;
     /** Per-interval CPI statistics; ci95 = 1.96 * sd / sqrt(n). */
     double cpi_mean = 0.0;
     double cpi_sd = 0.0;

@@ -16,6 +16,7 @@
 #include "common/strutil.hh"
 #include "dmt/engine.hh"
 #include "sim/checkpoint.hh"
+#include "sim/translated_core.hh"
 #include "sim/functional_core.hh"
 #include "workloads/workloads.hh"
 
@@ -150,11 +151,13 @@ ckptDir()
  *
  * @return nullptr when the program HALTs at or before @p pos; then
  *         @p halt_pos_out receives the halt position.  @p ff_wall
- *         accumulates host seconds spent fast-forwarding.
+ *         accumulates host seconds spent fast-forwarding and
+ *         @p ff_stats the translation-cache activity of this call.
  */
 std::shared_ptr<const Checkpoint>
 checkpointAt(WorkloadCkpts &e, const std::string &workload, u64 pos,
-             double *ff_wall, u64 *halt_pos_out,
+             double *ff_wall, TranslationStats *ff_stats,
+             u64 *halt_pos_out,
              std::chrono::steady_clock::time_point deadline = {})
 {
     std::lock_guard<std::mutex> lock(e.m);
@@ -200,6 +203,7 @@ checkpointAt(WorkloadCkpts &e, const std::string &workload, u64 pos,
     // the caller's wall-clock budget between checks.
     const bool armed = deadline.time_since_epoch().count() != 0;
     constexpr u64 kDeadlineChunk = u64{1} << 22;
+    const TranslationStats xs_before = core.translationStats();
     const auto t0 = std::chrono::steady_clock::now();
     while (core.instrCount() < pos && !core.halted()) {
         u64 gap = pos - core.instrCount();
@@ -216,6 +220,7 @@ checkpointAt(WorkloadCkpts &e, const std::string &workload, u64 pos,
     *ff_wall += std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
+    *ff_stats += core.translationStats() - xs_before;
     if (core.halted()) {
         e.halt_pos = core.instrCount();
         *halt_pos_out = e.halt_pos;
@@ -265,6 +270,7 @@ runWorkloadSampled(const SimConfig &cfg, const std::string &workload,
 
     const auto wall_start = std::chrono::steady_clock::now();
     double ff_wall = 0.0;
+    TranslationStats ff_stats;
 
     RunResult r;
     r.workload = workload;
@@ -298,8 +304,9 @@ runWorkloadSampled(const SimConfig &cfg, const std::string &workload,
 
         const u64 start = pos + params.skip;
         u64 halt_pos = 0;
-        const std::shared_ptr<const Checkpoint> ck = checkpointAt(
-            e, workload, start, &ff_wall, &halt_pos, cfg.deadline);
+        const std::shared_ptr<const Checkpoint> ck =
+            checkpointAt(e, workload, start, &ff_wall, &ff_stats,
+                         &halt_pos, cfg.deadline);
         if (!ck) {
             // Program ends inside this skip: coverage extends to HALT.
             pos = halt_pos;
@@ -370,6 +377,11 @@ runWorkloadSampled(const SimConfig &cfg, const std::string &workload,
     r.sampling.covered = pos;
     r.sampling.functional_instr = pos - detailed_retired;
     r.sampling.func_wall_s = ff_wall;
+    r.sampling.ff_mode = ffModeName(ffModeFromEnv());
+    r.sampling.ff_blocks_translated = ff_stats.blocks_translated;
+    r.sampling.ff_retranslations = ff_stats.retranslations;
+    r.sampling.ff_evictions = ff_stats.evictions;
+    r.sampling.ff_chain_hits = ff_stats.chain_hits;
     r.completed = completed;
     r.ipc = r.cycles > 0 ? static_cast<double>(r.retired)
                                / static_cast<double>(r.cycles)

@@ -19,7 +19,22 @@ FunctionalCore::FunctionalCore(const Program &prog, bool stream_output)
         decoded_.push_back(d);
     }
     state_.stream_output = stream_output;
+    mode_ = ffModeFromEnv();
+    cache_blocks_ = ffCacheBlocksFromEnv();
     reset();
+}
+
+void
+FunctionalCore::setCacheBound(u32 max_blocks)
+{
+    cache_blocks_ = max_blocks < 1 ? 1 : max_blocks;
+    translated_.reset();
+}
+
+TranslationStats
+FunctionalCore::translationStats() const
+{
+    return translated_ ? translated_->stats() : TranslationStats{};
 }
 
 void
@@ -46,6 +61,20 @@ FunctionalCore::restore(const ArchState &state, const MainMemory &mem,
 
 u64
 FunctionalCore::run(u64 max_instr)
+{
+    if (mode_ == FfMode::Translated) {
+        if (!translated_)
+            translated_ =
+                std::make_unique<TranslatedCore>(prog_, cache_blocks_);
+        const u64 done = translated_->run(state_, mem_, max_instr);
+        instr_count_ += done;
+        return done;
+    }
+    return runInterp(max_instr);
+}
+
+u64
+FunctionalCore::runInterp(u64 max_instr)
 {
     const Addr text_base = Program::kTextBase;
     const Addr text_end = prog_.textEnd();

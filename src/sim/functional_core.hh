@@ -13,16 +13,26 @@
  * helpers — the same single source of truth the timing engine and the
  * golden checker use — so a fast-forwarded architectural state is
  * bit-identical to stepping functionalStep() the same distance.
+ *
+ * Since PR 9 the batched interpreter is only one of two engines behind
+ * run(): DMT_FF_MODE selects between it ("interp") and the
+ * superblock-translated threaded-code core ("translated", the default;
+ * see sim/translated_core.hh).  Both produce bit-identical
+ * architectural state, so every consumer of this API — checkpoint
+ * generation, sampled runs, the serve daemon — picks up the fast
+ * engine with no code changes.
  */
 
 #ifndef DMT_SIM_FUNCTIONAL_CORE_HH
 #define DMT_SIM_FUNCTIONAL_CORE_HH
 
+#include <memory>
 #include <vector>
 
 #include "casm/program.hh"
 #include "sim/arch_state.hh"
 #include "sim/mainmem.hh"
+#include "sim/translated_core.hh"
 
 namespace dmt
 {
@@ -63,6 +73,19 @@ class FunctionalCore
     void restore(const ArchState &state, const MainMemory &mem,
                  u64 instr_count);
 
+    /** Fast-forward engine in use (DMT_FF_MODE at construction). */
+    FfMode mode() const { return mode_; }
+
+    /** Switch engines; cached translations are kept across switches
+     *  (they hold no architectural state). */
+    void setMode(FfMode mode) { mode_ = mode; }
+
+    /** Rebind the translation-cache bound (drops cached blocks). */
+    void setCacheBound(u32 max_blocks);
+
+    /** Translation telemetry (zeros while no translated run happened). */
+    TranslationStats translationStats() const;
+
   private:
     /** Pre-decoded per-instruction execution recipe. */
     struct DecodedOp
@@ -73,11 +96,17 @@ class FunctionalCore
         bool has_dest;    ///< writes rd
     };
 
+    u64 runInterp(u64 max_instr);
+
     const Program &prog_;
     std::vector<DecodedOp> decoded_;
     ArchState state_;
     MainMemory mem_;
     u64 instr_count_ = 0;
+    FfMode mode_;
+    u32 cache_blocks_;
+    /** Lazily built on the first translated-mode run(). */
+    std::unique_ptr<TranslatedCore> translated_;
 };
 
 } // namespace dmt

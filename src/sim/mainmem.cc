@@ -77,6 +77,19 @@ MainMemory::operator==(const MainMemory &other) const
     return true;
 }
 
+const u8 *
+MainMemory::pageData(Addr addr) const
+{
+    const Page *page = findPage(addr);
+    return page ? page->data() : nullptr;
+}
+
+u8 *
+MainMemory::pageDataWritable(Addr addr)
+{
+    return touchPage(addr).data();
+}
+
 const MainMemory::Page *
 MainMemory::findPage(Addr addr) const
 {

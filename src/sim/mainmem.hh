@@ -60,6 +60,18 @@ class MainMemory
     size_t numPages() const { return pages.size(); }
 
     /**
+     * Raw bytes of the page containing @p addr, or nullptr when the
+     * page is absent (absent pages read as zero and must stay
+     * unallocated).  The pointer stays valid until the page is freed:
+     * pages are heap blocks owned through unique_ptr, so map rehashes
+     * don't move them.  Fast-path hook for TranslatedCore's page TLBs.
+     */
+    const u8 *pageData(Addr addr) const;
+
+    /** Like pageData() but allocating: never nullptr. */
+    u8 *pageDataWritable(Addr addr);
+
+    /**
      * Visit every allocated page in ascending page-index order (the
      * deterministic order checkpoints serialize in).  @p fn receives
      * the page index and a pointer to its kPageSize bytes.

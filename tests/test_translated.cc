@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Differential exactness tests for the superblock-translated
+ * fast-forward engine (sim/translated_core.hh).  The contract under
+ * test: DMT_FF_MODE=translated produces architectural state
+ * bit-identical to the batched interpreter — registers, PC, halt flag,
+ * OUT stream (exact vector, count and hash), sparse memory pages and
+ * executed-instruction count — for every conformance scenario, for
+ * arbitrary mid-block budget stops, across checkpoint capture, across
+ * tiny-cache eviction churn, and through the whole sampled-run
+ * pipeline (byte-identical canonical RunResult JSON).
+ *
+ * Scenario count mirrors tests/test_conformance.cc: all generator
+ * families x DMT_CONF_SEEDS seeds (default 15; CI smoke uses 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/env.hh"
+#include "common/rng.hh"
+#include "exp/sampled.hh"
+#include "sim/checkpoint.hh"
+#include "sim/functional_core.hh"
+#include "sim/translated_core.hh"
+#include "workloads/generator.hh"
+#include "workloads/workloads.hh"
+
+namespace dmt
+{
+namespace
+{
+
+/** Knobs that would perturb the differential runs below must not leak
+ *  in from the caller's environment. */
+const struct EnvSanitizer
+{
+    EnvSanitizer()
+    {
+        for (const char *v :
+             {"DMT_FAULT", "DMT_FAULT_RATE", "DMT_FAULT_SEED",
+              "DMT_TRACE", "DMT_TRACE_FILE", "DMT_TRACE_COUNTERS_FILE",
+              "DMT_TRACE_SAMPLE", "DMT_TRACE_RING", "DMT_WATCHDOG",
+              "DMT_AUDIT", "DMT_BENCH_INSTR", "DMT_SAMPLE",
+              "DMT_CKPT_DIR", "DMT_FF_MODE", "DMT_FF_CACHE"})
+            unsetenv(v);
+    }
+} env_sanitizer;
+
+/** Seeds per family (same knob as the conformance sweep). */
+int
+seedsPerFamily()
+{
+    static const int n = [] {
+        const u64 v = parseEnvU64("DMT_CONF_SEEDS", 0);
+        return v > 0 ? static_cast<int>(v) : 15;
+    }();
+    return n;
+}
+
+/** Scenario knobs, identical derivation to test_conformance.cc so the
+ *  two sweeps cover the same program population. */
+GenParams
+scenarioParams(int family_idx, u64 seed)
+{
+    const GenFamilyInfo &fam =
+        genFamilies()[static_cast<size_t>(family_idx)];
+    Rng r(seed * 0x9e3779b97f4a7c15ull
+          + static_cast<u64>(family_idx) * 0x100000001b3ull);
+    GenParams p;
+    p.family = fam.name;
+    p.seed = seed;
+    p.depth = 2 + static_cast<int>(r.below(4));    // 2..5
+    p.trips = 4 + static_cast<int>(r.below(24));   // 4..27
+    p.entropy = static_cast<int>(r.below(101));
+    p.alias = static_cast<int>(r.below(101));
+    p.units = 8 + static_cast<int>(r.below(41));   // 8..48
+    return p;
+}
+
+/** Safety cap: every scenario program retires far less than this. */
+constexpr u64 kRunCap = u64{1} << 24;
+
+/** Every observable architectural fact the two engines must agree on. */
+void
+expectSameState(const FunctionalCore &interp,
+                const FunctionalCore &xlat, const std::string &ctx)
+{
+    EXPECT_EQ(interp.instrCount(), xlat.instrCount()) << ctx;
+    EXPECT_EQ(interp.state().pc, xlat.state().pc) << ctx;
+    EXPECT_EQ(interp.halted(), xlat.halted()) << ctx;
+    EXPECT_EQ(interp.state().regs, xlat.state().regs) << ctx;
+    EXPECT_EQ(interp.state().output, xlat.state().output) << ctx;
+    EXPECT_EQ(interp.state().out_count, xlat.state().out_count) << ctx;
+    EXPECT_EQ(interp.state().out_hash, xlat.state().out_hash) << ctx;
+    EXPECT_TRUE(interp.memory() == xlat.memory()) << ctx;
+}
+
+/** Run @p core to completion (HALT) under the safety cap. */
+void
+runToHalt(FunctionalCore &core, const std::string &ctx)
+{
+    u64 total = 0;
+    while (!core.halted() && total < kRunCap)
+        total += core.run(kRunCap - total);
+    ASSERT_TRUE(core.halted()) << ctx << ": no HALT under the cap";
+}
+
+// ---- the scenario sweep ------------------------------------------------
+
+class TranslatedConformance : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TranslatedConformance, BitIdenticalToInterpreter)
+{
+    const int family_idx = GetParam() / seedsPerFamily();
+    const u64 seed =
+        static_cast<u64>(GetParam() % seedsPerFamily()) + 1;
+    const GenParams p = scenarioParams(family_idx, seed);
+    const std::string spec = p.canonicalSpec();
+    const Program prog = buildWorkload(spec);
+
+    // Exact OUT vectors (not just the digest): stream_output off.
+    FunctionalCore interp(prog, /*stream_output=*/false);
+    interp.setMode(FfMode::Interp);
+    FunctionalCore xlat(prog, /*stream_output=*/false);
+    xlat.setMode(FfMode::Translated);
+
+    // Phase 1: chunked lock-step over a prefix, cycling through chunk
+    // sizes (including single-instruction steps) so budget stops land
+    // mid-block, mid-loop and on every kind of control transfer.
+    static constexpr u64 kChunks[] = {1, 1, 2, 3, 5, 7, 13, 64};
+    size_t ci = 0;
+    while (!interp.halted() && interp.instrCount() < 1500) {
+        const u64 chunk = kChunks[ci++ % (sizeof(kChunks)
+                                          / sizeof(kChunks[0]))];
+        const u64 di = interp.run(chunk);
+        const u64 dx = xlat.run(chunk);
+        ASSERT_EQ(di, dx) << spec << " @" << interp.instrCount();
+        ASSERT_EQ(interp.state().pc, xlat.state().pc)
+            << spec << " @" << interp.instrCount();
+        if (di == 0)
+            break;
+    }
+    expectSameState(interp, xlat, spec + " (chunked prefix)");
+
+    // Phase 2: run both to completion and compare the full final state.
+    runToHalt(interp, spec);
+    runToHalt(xlat, spec);
+    expectSameState(interp, xlat, spec + " (completion)");
+
+    // A halted core must stay halted and consume nothing.
+    EXPECT_EQ(xlat.run(10), 0u) << spec;
+
+    const TranslationStats xs = xlat.translationStats();
+    EXPECT_GT(xs.blocks_translated, 0u) << spec;
+    EXPECT_EQ(xs.instrs_executed, xlat.instrCount()) << spec;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, TranslatedConformance,
+    ::testing::Range(0, static_cast<int>(genFamilies().size())
+                            * seedsPerFamily()),
+    [](const ::testing::TestParamInfo<int> &param_info) {
+        const int fam = param_info.param / seedsPerFamily();
+        const int seed = param_info.param % seedsPerFamily() + 1;
+        return std::string(genFamilies()[static_cast<size_t>(fam)].name)
+            + "_s" + std::to_string(seed);
+    });
+
+// ---- suite kernels -----------------------------------------------------
+
+TEST(Translated, SuiteKernelsBitIdentical)
+{
+    for (const char *name : {"go", "m88ksim", "compress", "li",
+                             "ijpeg", "perl", "vortex", "gcc"}) {
+        const Program prog = buildWorkload(name);
+        FunctionalCore interp(prog, /*stream_output=*/false);
+        interp.setMode(FfMode::Interp);
+        FunctionalCore xlat(prog, /*stream_output=*/false);
+        xlat.setMode(FfMode::Translated);
+        runToHalt(interp, name);
+        runToHalt(xlat, name);
+        expectSameState(interp, xlat, name);
+    }
+}
+
+// ---- translation-cache behaviour --------------------------------------
+
+TEST(Translated, TinyCacheEvictsAndRetranslatesExactly)
+{
+    // A 2-block cache on a call-tree workload forces constant eviction
+    // and retranslation churn; results must not change.
+    const Program prog = buildWorkload("gen:calltree:7");
+    FunctionalCore interp(prog, /*stream_output=*/false);
+    interp.setMode(FfMode::Interp);
+    FunctionalCore xlat(prog, /*stream_output=*/false);
+    xlat.setMode(FfMode::Translated);
+    xlat.setCacheBound(2);
+
+    runToHalt(interp, "calltree interp");
+    runToHalt(xlat, "calltree tiny cache");
+    expectSameState(interp, xlat, "tiny-cache eviction churn");
+
+    const TranslationStats xs = xlat.translationStats();
+    EXPECT_GT(xs.evictions, 0u);
+    EXPECT_GT(xs.retranslations, 0u);
+    EXPECT_GT(xs.blocks_translated, xs.retranslations);
+}
+
+TEST(Translated, CacheBoundOneStillExact)
+{
+    // The degenerate bound: every block transfer is a miss.
+    const Program prog = buildWorkload("gen:branchy:3:trips=40");
+    FunctionalCore interp(prog, /*stream_output=*/false);
+    interp.setMode(FfMode::Interp);
+    FunctionalCore xlat(prog, /*stream_output=*/false);
+    xlat.setMode(FfMode::Translated);
+    xlat.setCacheBound(1);
+    runToHalt(interp, "branchy interp");
+    runToHalt(xlat, "branchy bound-1");
+    expectSameState(interp, xlat, "cache bound 1");
+}
+
+TEST(Translated, IndirectStressReturnsAndPtrchase)
+{
+    // Deep call trees return through JR — the inline next-block
+    // predictor's hard case (one site, many return targets).
+    {
+        const Program prog = buildWorkload("gen:calltree:13:depth=5");
+        FunctionalCore interp(prog, /*stream_output=*/false);
+        interp.setMode(FfMode::Interp);
+        FunctionalCore xlat(prog, /*stream_output=*/false);
+        xlat.setMode(FfMode::Translated);
+        runToHalt(interp, "calltree interp");
+        runToHalt(xlat, "calltree translated");
+        expectSameState(interp, xlat, "calltree indirect stress");
+        const TranslationStats xs = xlat.translationStats();
+        EXPECT_GT(xs.indirect_hits + xs.indirect_misses, 0u);
+    }
+    // Pointer-chase stresses the data side: loads walking sparse pages.
+    {
+        const Program prog =
+            buildWorkload("gen:ptrchase:11:trips=500:units=64");
+        FunctionalCore interp(prog, /*stream_output=*/false);
+        interp.setMode(FfMode::Interp);
+        FunctionalCore xlat(prog, /*stream_output=*/false);
+        xlat.setMode(FfMode::Translated);
+        runToHalt(interp, "ptrchase interp");
+        runToHalt(xlat, "ptrchase translated");
+        expectSameState(interp, xlat, "ptrchase data stress");
+    }
+}
+
+TEST(Translated, HotLoopChainsBlocks)
+{
+    const Program prog = buildWorkload("gen:loopnest:5:trips=200");
+    FunctionalCore xlat(prog, /*stream_output=*/false);
+    xlat.setMode(FfMode::Translated);
+    runToHalt(xlat, "loopnest translated");
+    const TranslationStats xs = xlat.translationStats();
+    // Steady-state loops must run chained: far more hits than misses
+    // (every miss is a one-time chain installation).
+    EXPECT_GT(xs.chain_hits, 10 * xs.chain_misses);
+    EXPECT_GT(xs.blocks_executed, xs.blocks_translated);
+}
+
+TEST(Translated, InvalidateAllRetranslatesExactly)
+{
+    const Program prog = buildWorkload("gen:loopnest:3:trips=50");
+
+    // Reference: uninterrupted interpreter run.
+    FunctionalCore interp(prog, /*stream_output=*/false);
+    interp.setMode(FfMode::Interp);
+    runToHalt(interp, "loopnest interp");
+
+    // Drive TranslatedCore directly and invalidate mid-run.
+    ArchState state;
+    state.reset(prog);
+    state.stream_output = false;
+    MainMemory mem;
+    mem.loadProgram(prog);
+    TranslatedCore core(prog);
+    u64 executed = 0;
+    executed += core.run(state, mem, 1000);
+    core.invalidateAll();
+    EXPECT_EQ(core.cachedBlocks(), 0u);
+    while (!state.halted && executed < kRunCap)
+        executed += core.run(state, mem, kRunCap - executed);
+    ASSERT_TRUE(state.halted);
+
+    EXPECT_EQ(executed, interp.instrCount());
+    EXPECT_EQ(state.pc, interp.state().pc);
+    EXPECT_EQ(state.regs, interp.state().regs);
+    EXPECT_EQ(state.output, interp.state().output);
+    EXPECT_TRUE(mem == interp.memory());
+}
+
+// ---- checkpoint pipeline -----------------------------------------------
+
+TEST(Translated, CheckpointBytesIdenticalAcrossEngines)
+{
+    // Capture a checkpoint at the same position under both engines and
+    // demand the serialized files match byte for byte.
+    const Program prog = buildWorkload("compress");
+    const u64 pos = 100000;
+
+    auto capture_at = [&](FfMode mode) {
+        FunctionalCore core(prog);
+        core.setMode(mode);
+        while (core.instrCount() < pos && !core.halted())
+            core.run(pos - core.instrCount());
+        EXPECT_EQ(core.instrCount(), pos);
+        return Checkpoint::capture(core);
+    };
+    const Checkpoint a = capture_at(FfMode::Interp);
+    const Checkpoint b = capture_at(FfMode::Translated);
+    EXPECT_EQ(a.instr_count, b.instr_count);
+    EXPECT_EQ(a.prog_hash, b.prog_hash);
+
+    auto file_bytes = [](const std::string &path) {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream os;
+        os << in.rdbuf();
+        return os.str();
+    };
+    const std::string pa = "xckpt_interp.ckpt";
+    const std::string pb = "xckpt_translated.ckpt";
+    ASSERT_TRUE(a.save(pa));
+    ASSERT_TRUE(b.save(pb));
+    EXPECT_EQ(file_bytes(pa), file_bytes(pb));
+    std::remove(pa.c_str());
+    std::remove(pb.c_str());
+}
+
+TEST(Translated, CheckpointRestoreMidBlockResumesExactly)
+{
+    // Restore into a fresh core at an arbitrary (mid-block) position
+    // and continue translated; the end state must match a straight
+    // interpreter run.
+    const Program prog = buildWorkload("gen:branchy:9:trips=60");
+    FunctionalCore interp(prog, /*stream_output=*/false);
+    interp.setMode(FfMode::Interp);
+    runToHalt(interp, "branchy interp");
+
+    FunctionalCore ff(prog, /*stream_output=*/false);
+    ff.setMode(FfMode::Translated);
+    ff.run(777); // deliberately not a block boundary
+    FunctionalCore resumed(prog, /*stream_output=*/false);
+    resumed.setMode(FfMode::Translated);
+    resumed.restore(ff.state(), ff.memory(), ff.instrCount());
+    runToHalt(resumed, "branchy resumed");
+    expectSameState(interp, resumed, "mid-block checkpoint resume");
+}
+
+// ---- sampled pipeline --------------------------------------------------
+
+TEST(Translated, SampledRunsByteIdenticalAcrossEngines)
+{
+    SampleParams p;
+    p.skip = 40000;
+    p.warm = 400;
+    p.measure = 1200;
+    p.max_intervals = 3;
+    const SimConfig cfg = SimConfig::dmt(6, 2);
+
+    setenv("DMT_FF_MODE", "interp", 1);
+    clearCheckpointCache(); // cursor re-reads DMT_FF_MODE on rebuild
+    const RunResult ri = runWorkloadSampled(cfg, "go", p);
+
+    setenv("DMT_FF_MODE", "translated", 1);
+    clearCheckpointCache();
+    const RunResult rx = runWorkloadSampled(cfg, "go", p);
+
+    unsetenv("DMT_FF_MODE");
+    clearCheckpointCache();
+
+    // Canonical JSON (timing excluded) must match byte for byte —
+    // same windows, same CPI, same stat blocks.
+    EXPECT_EQ(ri.jsonString(), rx.jsonString());
+    EXPECT_EQ(ri.sampling.intervals, 3u);
+    // The telemetry (timing-only fields) records which engine ran.
+    EXPECT_EQ(ri.sampling.ff_mode, "interp");
+    EXPECT_EQ(rx.sampling.ff_mode, "translated");
+    EXPECT_EQ(ri.sampling.ff_blocks_translated, 0u);
+    EXPECT_GT(rx.sampling.ff_blocks_translated, 0u);
+    EXPECT_GT(rx.sampling.ff_chain_hits, 0u);
+}
+
+} // namespace
+} // namespace dmt
