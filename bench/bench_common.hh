@@ -77,14 +77,9 @@ sweepGrid(const std::vector<std::string> &workloads,
         const SampleParams sp = SampleParams::fromEnv();
         if (sp.enabled()) {
             std::fprintf(stderr,
-                         "sampling: DMT_SAMPLE=%llu:%llu:%llu "
-                         "(intervals=%llu) — cycles/retired cover "
-                         "measured windows only\n",
-                         static_cast<unsigned long long>(sp.skip),
-                         static_cast<unsigned long long>(sp.warm),
-                         static_cast<unsigned long long>(sp.measure),
-                         static_cast<unsigned long long>(
-                             sp.max_intervals));
+                         "sampling: DMT_SAMPLE=%s — cycles/retired "
+                         "cover measured windows only\n",
+                         sp.canonicalSpec().c_str());
         }
         std::fprintf(stderr, "sweep: %zu jobs on %d worker(s)\n",
                      pool.size(), pool.poolWidth());

@@ -19,6 +19,7 @@
 #include <chrono>
 
 #include "common/env.hh"
+#include "sim/bbv.hh"
 #include "sim/functional_core.hh"
 #include "workloads/generator.hh"
 
@@ -100,12 +101,18 @@ ffSpecs()
  *  instructions. */
 FuncRow
 runFfRow(dmt::FfMode mode, const std::string &spec,
-         dmt::u64 floor_instr, dmt::TranslationStats *xstats)
+         dmt::u64 floor_instr, bool bbv_on,
+         dmt::TranslationStats *xstats)
 {
     using namespace dmt;
     const Program prog = buildWorkload(spec);
     FunctionalCore core(prog);
     core.setMode(mode);
+    // Phase profiling attached (bench-scale interval); one collector
+    // spans the repeats, exactly like a long profiling pass would.
+    BbvCollector bbv(100000, prog.text.size(), prog.entry);
+    if (bbv_on)
+        core.setBbv(&bbv);
     FuncRow row;
     row.name = canonicalWorkloadName(spec);
     while (row.instr < floor_instr) {
@@ -131,16 +138,25 @@ runFfRow(dmt::FfMode mode, const std::string &spec,
 void
 measureFunctionalRep(const std::vector<std::string> &specs,
                      dmt::u64 floor_instr, FuncSpeed *interp,
-                     FuncSpeed *xlat)
+                     FuncSpeed *xlat, FuncSpeed *interp_bbv,
+                     FuncSpeed *xlat_bbv)
 {
     using namespace dmt;
     for (const std::string &spec : specs) {
         interp->rows.push_back(runFfRow(FfMode::Interp, spec,
-                                        floor_instr, &interp->xstats));
+                                        floor_instr, false,
+                                        &interp->xstats));
         xlat->rows.push_back(runFfRow(FfMode::Translated, spec,
-                                      floor_instr, &xlat->xstats));
+                                      floor_instr, false,
+                                      &xlat->xstats));
+        interp_bbv->rows.push_back(
+            runFfRow(FfMode::Interp, spec, floor_instr, true,
+                     &interp_bbv->xstats));
+        xlat_bbv->rows.push_back(
+            runFfRow(FfMode::Translated, spec, floor_instr, true,
+                     &xlat_bbv->xstats));
     }
-    for (FuncSpeed *f : {interp, xlat}) {
+    for (FuncSpeed *f : {interp, xlat, interp_bbv, xlat_bbv}) {
         for (const FuncRow &row : f->rows) {
             f->instr += row.instr;
             f->wall_s += row.wall_s;
@@ -218,27 +234,39 @@ benchMain()
     // suite plus one instance of each generated family.
     const std::vector<std::string> specs = ffSpecs();
     const u64 ff_floor = std::max<u64>(budget, 8'000'000);
-    FuncSpeed interp, xlat;
+    FuncSpeed interp, xlat, interp_bbv, xlat_bbv;
     for (u64 rep = 0; rep < reps; ++rep) {
-        FuncSpeed ci, cx;
-        measureFunctionalRep(specs, ff_floor, &ci, &cx);
+        FuncSpeed ci, cx, cib, cxb;
+        measureFunctionalRep(specs, ff_floor, &ci, &cx, &cib, &cxb);
         if (!benchQuiet()) {
             std::fprintf(stderr,
                          "simspeed: functional rep %llu/%llu: "
                          "interp %.3f, translated %.3f Minstr/s "
-                         "(%.2fx)\n",
+                         "(%.2fx); with BBV %.3f / %.3f\n",
                          static_cast<unsigned long long>(rep + 1),
                          static_cast<unsigned long long>(reps),
                          ci.minstr_per_s, cx.minstr_per_s,
                          ci.minstr_per_s > 0.0
                              ? cx.minstr_per_s / ci.minstr_per_s
-                             : 0.0);
+                             : 0.0,
+                         cib.minstr_per_s, cxb.minstr_per_s);
         }
         if (ci.minstr_per_s > interp.minstr_per_s)
             interp = std::move(ci);
         if (cx.minstr_per_s > xlat.minstr_per_s)
             xlat = std::move(cx);
+        if (cib.minstr_per_s > interp_bbv.minstr_per_s)
+            interp_bbv = std::move(cib);
+        if (cxb.minstr_per_s > xlat_bbv.minstr_per_s)
+            xlat_bbv = std::move(cxb);
     }
+    // Phase-profiling tax: best BBV-on rep over best BBV-off rep.
+    const double interp_bbv_pct = interp.minstr_per_s > 0.0
+        ? (1.0 - interp_bbv.minstr_per_s / interp.minstr_per_s) * 100.0
+        : 0.0;
+    const double xlat_bbv_pct = xlat.minstr_per_s > 0.0
+        ? (1.0 - xlat_bbv.minstr_per_s / xlat.minstr_per_s) * 100.0
+        : 0.0;
     const double ff_ratio = machines[1].minstr_per_s > 0.0
         ? xlat.minstr_per_s / machines[1].minstr_per_s : 0.0;
     const double xlat_ratio = interp.minstr_per_s > 0.0
@@ -295,6 +323,16 @@ benchMain()
                 "functional_translated", xlat.minstr_per_s, xlat.wall_s,
                 static_cast<unsigned long long>(xlat.instr), xlat_ratio,
                 ff_ratio);
+    std::printf("%-21s %12.3f %10.2f %12llu  (BBV on, %+.1f%%)\n",
+                "functional_bbv", interp_bbv.minstr_per_s,
+                interp_bbv.wall_s,
+                static_cast<unsigned long long>(interp_bbv.instr),
+                interp_bbv_pct);
+    std::printf("%-21s %12.3f %10.2f %12llu  (BBV on, %+.1f%%)\n",
+                "functional_translated_bbv", xlat_bbv.minstr_per_s,
+                xlat_bbv.wall_s,
+                static_cast<unsigned long long>(xlat_bbv.instr),
+                xlat_bbv_pct);
 
     JsonWriter w;
     w.beginObject();
@@ -326,6 +364,16 @@ benchMain()
     w.key("indirect_misses").value(xlat.xstats.indirect_misses);
     w.key("blocks_executed").value(xlat.xstats.blocks_executed);
     w.endObject();
+    w.endObject();
+    w.key("functional_bbv");
+    w.beginObject();
+    funcJsonOn(w, interp_bbv);
+    w.key("overhead_pct_vs_plain").value(interp_bbv_pct);
+    w.endObject();
+    w.key("functional_translated_bbv");
+    w.beginObject();
+    funcJsonOn(w, xlat_bbv);
+    w.key("overhead_pct_vs_plain").value(xlat_bbv_pct);
     w.endObject();
     w.key("machines").beginArray();
     for (const MachineSpeed &m : machines) {

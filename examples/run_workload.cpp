@@ -20,6 +20,7 @@
 #include "common/log.hh"
 #include "common/stats.hh"
 #include "dmt/engine.hh"
+#include "exp/phase.hh"
 #include "exp/sampled.hh"
 #include "exp/sweep.hh"
 #include "workloads/generator.hh"
@@ -42,6 +43,57 @@ reportCheckpointCache()
                  static_cast<unsigned long long>(c.mem_hits),
                  static_cast<unsigned long long>(c.disk_hits),
                  static_cast<unsigned long long>(c.builds));
+}
+
+/** Companion to the checkpoint-cache line: how often the (expensive)
+ *  BBV profile pass was reused.  Silent unless phase sampling ran. */
+void
+reportPhaseCache()
+{
+    const dmt::PhaseCacheCounters c = dmt::phaseCacheCounters();
+    if (c.hits + c.builds == 0)
+        return;
+    std::fprintf(stderr, "phase cache: %llu hit(s), %llu built\n",
+                 static_cast<unsigned long long>(c.hits),
+                 static_cast<unsigned long long>(c.builds));
+}
+
+/** Phase table for one phase-sampled result, mirroring the cache
+ *  summary lines: one row per phase with its weight, representative
+ *  interval and measured CPI. */
+void
+printPhaseTable(const dmt::RunResult &r)
+{
+    if (r.sampling.mode != "phase")
+        return;
+    std::fprintf(stderr,
+                 "%s phases: k=%llu of %llu interval(s) x %llu instr "
+                 "(weighted cpi %.4f +- %.4f)\n",
+                 r.workload.c_str(),
+                 static_cast<unsigned long long>(r.sampling.phase_k),
+                 static_cast<unsigned long long>(
+                     r.sampling.phase_intervals),
+                 static_cast<unsigned long long>(
+                     r.sampling.phase_interval),
+                 r.sampling.cpi_mean, r.sampling.cpi_ci95);
+    for (const dmt::PhaseCpi &ph : r.sampling.phases) {
+        if (ph.measured) {
+            std::fprintf(stderr,
+                         "  phase %2u  weight %.4f  rep %6llu  "
+                         "(pos %10llu)  cpi %.4f\n",
+                         ph.id, ph.weight,
+                         static_cast<unsigned long long>(ph.rep),
+                         static_cast<unsigned long long>(ph.pos),
+                         ph.cpi);
+        } else {
+            std::fprintf(stderr,
+                         "  phase %2u  weight %.4f  rep %6llu  "
+                         "(pos %10llu)  unmeasured\n",
+                         ph.id, ph.weight,
+                         static_cast<unsigned long long>(ph.rep),
+                         static_cast<unsigned long long>(ph.pos));
+        }
+    }
 }
 
 } // namespace
@@ -107,8 +159,50 @@ main(int argc, char **argv)
                     "%.2f Minstr/s\n",
                     st.wall_seconds, st.busy_seconds,
                     st.parallelism(), st.throughput() / 1e6);
+        for (size_t i = 0; i < cells.size(); ++i)
+            if (cells[i].ok)
+                printPhaseTable(cells[i].result);
         reportCheckpointCache();
+        reportPhaseCache();
         return all_ok ? 0 : 1;
+    }
+
+    if (SampleParams::fromEnv().enabled()) {
+        // Sampled single run: go through the runner funnel (which
+        // applies DMT_SAMPLE) instead of a raw engine, so the sampled
+        // summary — and in phase mode the phase table — is visible
+        // from the command line.
+        std::printf("running %s (sampled, DMT_SAMPLE=%s) on %s ...\n",
+                    name.c_str(),
+                    SampleParams::fromEnv().canonicalSpec().c_str(),
+                    cfg.summary().c_str());
+        RunResult r;
+        try {
+            r = runWorkload(cfg, name, budget);
+        } catch (const SimError &err) {
+            std::fprintf(stderr, "run aborted: %s\n", err.what());
+            return 1;
+        }
+        StatGroup group(name);
+        r.stats.registerAll(group);
+        std::fputs(group.dump().c_str(), stdout);
+        std::printf("%s.cpi_mean %34.4f\n", name.c_str(),
+                    r.sampling.cpi_mean);
+        std::printf("%s.cpi_ci95 %34.4f\n", name.c_str(),
+                    r.sampling.cpi_ci95);
+        std::printf("sampled: %llu window(s), %llu of %llu instr "
+                    "detailed\n",
+                    static_cast<unsigned long long>(
+                        r.sampling.intervals),
+                    static_cast<unsigned long long>(
+                        r.sampling.covered
+                        - r.sampling.functional_instr),
+                    static_cast<unsigned long long>(
+                        r.sampling.covered));
+        printPhaseTable(r);
+        reportCheckpointCache();
+        reportPhaseCache();
+        return 0;
     }
 
     std::printf("running %s on %s ...\n", name.c_str(),

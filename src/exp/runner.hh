@@ -33,14 +33,41 @@ struct SampleInterval
     u64 recoveries = 0;
 };
 
+/** One phase of a phase-sampled run: the cluster's identity/weight
+ *  from the BBV analysis plus the measured window at its
+ *  representative. */
+struct PhaseCpi
+{
+    u32 id = 0;          ///< dense phase id (rep-ascending order)
+    u64 rep = 0;         ///< representative interval index
+    u64 pos = 0;         ///< rep * interval_len (window start)
+    u64 members = 0;     ///< intervals assigned to the phase
+    double weight = 0.0; ///< instruction-count share of the stream
+    bool measured = false; ///< window detached stats and retired > 0
+    u64 cycles = 0;
+    u64 retired = 0;
+    double cpi = 0.0;
+};
+
 /** Sampling metadata attached to a RunResult in sampled mode. */
 struct SampleSummary
 {
     bool enabled = false;
+    /** Placement policy: "uniform" or "phase" (canonical JSON). */
+    std::string mode = "uniform";
     u64 skip = 0;    ///< fast-forwarded instructions per interval
     u64 warm = 0;    ///< detailed warmup instructions (stats detached)
     u64 measure = 0; ///< detailed measured instructions
     u64 intervals = 0; ///< measured intervals completed
+    /** Phase-mode analysis identity + outcome (zero in uniform mode;
+     *  emitted to JSON only when mode == "phase"). */
+    u64 phase_interval = 0;  ///< BBV interval length
+    u64 phase_max_k = 0;     ///< cluster bound requested
+    u64 phase_dims = 0;      ///< projection dimensions
+    u64 phase_seed = 0;
+    u64 phase_k = 0;         ///< phases found
+    u64 phase_intervals = 0; ///< intervals profiled
+    std::vector<PhaseCpi> phases;
     /** Stream positions traversed in total (functional + detailed);
      *  equals program length when the run reached HALT. */
     u64 covered = 0;
@@ -59,7 +86,9 @@ struct SampleSummary
     u64 ff_retranslations = 0;
     u64 ff_evictions = 0;
     u64 ff_chain_hits = 0;
-    /** Per-interval CPI statistics; ci95 = 1.96 * sd / sqrt(n). */
+    /** Per-interval CPI statistics; ci95 = 1.96 * sd / sqrt(n).  In
+     *  phase mode the mean is phase-weight weighted and sd/ci95 use
+     *  the weighted spread over measured phases. */
     double cpi_mean = 0.0;
     double cpi_sd = 0.0;
     double cpi_ci95 = 0.0;

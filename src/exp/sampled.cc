@@ -23,11 +23,32 @@
 namespace dmt
 {
 
+namespace
+{
+
+/** Bounds shared by spec parsing and the DMT_PHASE_* env knobs. */
+constexpr u64 kPhaseMaxK = 64;
+constexpr u64 kPhaseMaxDims = 256;
+
+} // namespace
+
 std::string
 SampleParams::canonicalSpec() const
 {
     if (!enabled())
         return "off";
+    if (phaseMode()) {
+        // Every field explicit: two specs that behave identically must
+        // render identically (cache keys), regardless of which
+        // trailing fields the user spelled out.
+        return strprintf("phase:%llu:%llu:%llu:%llu:%llu:%llu",
+                         static_cast<unsigned long long>(phase.interval),
+                         static_cast<unsigned long long>(warm),
+                         static_cast<unsigned long long>(measure),
+                         static_cast<unsigned long long>(phase.max_k),
+                         static_cast<unsigned long long>(phase.dims),
+                         static_cast<unsigned long long>(phase.seed));
+    }
     return strprintf("%llu:%llu:%llu:%llu",
                      static_cast<unsigned long long>(skip),
                      static_cast<unsigned long long>(warm),
@@ -40,9 +61,65 @@ SampleParams::parse(std::string_view spec, SampleParams *out,
                     std::string *err)
 {
     *out = SampleParams{};
-    if (trim(spec).empty())
+    const std::string_view t = trim(spec);
+    if (t.empty())
         return true; // disabled
-    const std::vector<std::string> parts = splitFields(spec, ":");
+
+    if (t.rfind("phase:", 0) == 0) {
+        const std::vector<std::string> parts =
+            splitFields(t.substr(6), ":");
+        if (parts.size() < 3 || parts.size() > 6) {
+            if (err)
+                *err = "phase sample spec must be phase:interval:warm:"
+                       "measure[:maxk[:dims[:seed]]]";
+            return false;
+        }
+        u64 v[6] = {0, 0, 0, 0, 0, 0};
+        for (size_t i = 0; i < parts.size(); ++i) {
+            if (!parseU64(parts[i], &v[i])) {
+                if (err)
+                    *err = "bad sample spec field \"" + parts[i] + "\"";
+                return false;
+            }
+        }
+        out->mode = Mode::Phase;
+        out->phase.interval = v[0];
+        out->warm = v[1];
+        out->measure = v[2];
+        if (parts.size() > 3)
+            out->phase.max_k = v[3];
+        if (parts.size() > 4)
+            out->phase.dims = v[4];
+        if (parts.size() > 5)
+            out->phase.seed = v[5];
+        if (out->phase.interval == 0) {
+            if (err)
+                *err = "phase interval length must be > 0";
+            return false;
+        }
+        if (out->measure == 0) {
+            if (err)
+                *err = "sample measure window must be > 0";
+            return false;
+        }
+        if (out->phase.max_k < 1 || out->phase.max_k > kPhaseMaxK) {
+            if (err)
+                *err = strprintf("phase maxk must be 1..%llu",
+                                 static_cast<unsigned long long>(
+                                     kPhaseMaxK));
+            return false;
+        }
+        if (out->phase.dims < 1 || out->phase.dims > kPhaseMaxDims) {
+            if (err)
+                *err = strprintf("phase dims must be 1..%llu",
+                                 static_cast<unsigned long long>(
+                                     kPhaseMaxDims));
+            return false;
+        }
+        return true;
+    }
+
+    const std::vector<std::string> parts = splitFields(t, ":");
     if (parts.size() < 3 || parts.size() > 4) {
         if (err)
             *err = "sample spec must be skip:warm:measure[:intervals]";
@@ -78,6 +155,20 @@ SampleParams::fromEnv()
     std::string err;
     if (!SampleParams::parse(raw, &p, &err))
         fatal("DMT_SAMPLE=\"%s\": %s", raw, err.c_str());
+    if (p.phaseMode()) {
+        // Env defaults apply only to fields the spec left out; the
+        // canonical spec is always fully explicit, so daemon cache
+        // keys and golden identities never depend on the environment.
+        const size_t nf = splitFields(raw, ":").size() - 1;
+        if (nf < 4)
+            p.phase.max_k =
+                parseEnvU64("DMT_PHASE_K", p.phase.max_k, 1, kPhaseMaxK);
+        if (nf < 5)
+            p.phase.dims = parseEnvU64("DMT_PHASE_DIMS", p.phase.dims,
+                                       1, kPhaseMaxDims);
+        if (nf < 6)
+            p.phase.seed = parseEnvU64("DMT_PHASE_SEED", p.phase.seed);
+    }
     return p;
 }
 
@@ -257,6 +348,181 @@ checkpointCacheCounters()
     return c;
 }
 
+namespace
+{
+
+/**
+ * Phase-aware placement: one warm+measure window per phase
+ * representative found by the (cached) BBV profile, CPI aggregated by
+ * phase weight.  Window execution and checkpoint handling are shared
+ * with the uniform path; only the placement and the aggregation
+ * differ.
+ */
+RunResult
+runPhaseSampled(const SimConfig &cfg, const std::string &workload,
+                const SampleParams &params, u64 budget)
+{
+    WorkloadCkpts &e = entryFor(workload);
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    double ff_wall = 0.0;
+    TranslationStats ff_stats;
+
+    RunResult r;
+    r.workload = workload;
+    r.sampling.enabled = true;
+    r.sampling.mode = "phase";
+    r.sampling.warm = params.warm;
+    r.sampling.measure = params.measure;
+    r.sampling.phase_interval = params.phase.interval;
+    r.sampling.phase_max_k = params.phase.max_k;
+    r.sampling.phase_dims = params.phase.dims;
+    r.sampling.phase_seed = params.phase.seed;
+
+    // The profile pass is cached process-wide (like the checkpoint
+    // chain); its wall clock lands in the fast-forward bucket.
+    const auto prof_start = std::chrono::steady_clock::now();
+    const std::shared_ptr<const PhaseAnalysis> pa =
+        phaseAnalysisFor(workload, params.phase, budget);
+    ff_wall += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - prof_start)
+                   .count();
+
+    r.sampling.phase_k = pa->k;
+    r.sampling.phase_intervals = pa->assignment.size();
+    bool completed = pa->completed;
+    u64 detailed_retired = 0;
+
+    for (const PhaseInfo &ph : pa->phases) {
+        if (cfg.hasDeadline()
+            && std::chrono::steady_clock::now() >= cfg.deadline) {
+            panic("deadline expired between phase windows of %s "
+                  "(phase %u)",
+                  workload.c_str(), ph.id);
+        }
+
+        const u64 start = ph.rep * params.phase.interval;
+        u64 halt_pos = 0;
+        const std::shared_ptr<const Checkpoint> ck =
+            checkpointAt(e, workload, start, &ff_wall, &ff_stats,
+                         &halt_pos, cfg.deadline);
+
+        PhaseCpi row;
+        row.id = ph.id;
+        row.rep = ph.rep;
+        row.pos = start;
+        row.weight = ph.weight;
+        row.members = ph.members;
+
+        // A representative can sit past HALT only if profiling and the
+        // checkpoint cursor disagree — which the bit-identity contract
+        // rules out — but stay graceful: the phase goes unmeasured and
+        // the aggregate renormalizes over the measured ones.
+        if (ck) {
+            SimConfig wcfg = cfg;
+            wcfg.warmup_retired = params.warm;
+            wcfg.max_retired = params.warm + params.measure;
+
+            DmtEngine engine(wcfg, e.prog, ck.get());
+            engine.run();
+            if (!engine.goldenOk()) {
+                panic("golden mismatch on %s (phase window at %llu): %s",
+                      workload.c_str(),
+                      static_cast<unsigned long long>(start),
+                      engine.goldenError().c_str());
+            }
+            completed = completed || engine.programCompleted();
+            const u64 win_retired = engine.retiredTotal();
+            detailed_retired += win_retired;
+
+            if (engine.measurementActive()
+                && engine.stats().retired.value() > 0) {
+                const DmtStats &ws = engine.stats();
+                row.measured = true;
+                row.cycles = ws.cycles.value();
+                row.retired = ws.retired.value();
+                row.cpi = static_cast<double>(row.cycles)
+                    / static_cast<double>(row.retired);
+
+                SampleInterval iv;
+                iv.pos = start;
+                iv.cycles = row.cycles;
+                iv.retired = row.retired;
+                iv.spawned = ws.threads_spawned.value();
+                iv.squashed = ws.squashed_insts.value();
+                iv.recoveries = ws.recoveries.value();
+                r.sampling.records.push_back(iv);
+                ++r.sampling.intervals;
+                r.cycles += row.cycles;
+                r.retired += row.retired;
+                r.stats.merge(ws);
+            }
+        }
+        r.sampling.phases.push_back(row);
+    }
+
+    // Weighted aggregate over the measured phases, weights
+    // renormalized so unmeasured phases (end-of-program windows that
+    // never detached their stats) drop out of the estimate instead of
+    // deflating it.
+    double wsum = 0.0;
+    size_t measured = 0;
+    for (const PhaseCpi &row : r.sampling.phases) {
+        if (row.measured) {
+            wsum += row.weight;
+            ++measured;
+        }
+    }
+    if (measured > 0 && wsum > 0.0) {
+        double mean = 0.0;
+        for (const PhaseCpi &row : r.sampling.phases)
+            if (row.measured)
+                mean += (row.weight / wsum) * row.cpi;
+        r.sampling.cpi_mean = mean;
+        if (measured > 1) {
+            double var = 0.0;
+            for (const PhaseCpi &row : r.sampling.phases) {
+                if (!row.measured)
+                    continue;
+                const double d = row.cpi - mean;
+                var += (row.weight / wsum) * d * d;
+            }
+            // Bessel-style correction on the weighted spread so the CI
+            // matches the uniform sampler's n-1 convention.
+            const double n = static_cast<double>(measured);
+            r.sampling.cpi_sd = std::sqrt(var * n / (n - 1.0));
+            r.sampling.cpi_ci95 =
+                1.96 * r.sampling.cpi_sd / std::sqrt(n);
+        }
+    }
+
+    r.sampling.covered = pa->covered;
+    // Stream-derived (not host-work-derived) so the canonical JSON is
+    // identical whether checkpoints came from cache or fresh runs.
+    r.sampling.functional_instr = pa->covered > detailed_retired
+        ? pa->covered - detailed_retired
+        : 0;
+    r.sampling.func_wall_s = ff_wall;
+    r.sampling.ff_mode = ffModeName(ffModeFromEnv());
+    r.sampling.ff_blocks_translated = ff_stats.blocks_translated;
+    r.sampling.ff_retranslations = ff_stats.retranslations;
+    r.sampling.ff_evictions = ff_stats.evictions;
+    r.sampling.ff_chain_hits = ff_stats.chain_hits;
+    r.completed = completed;
+    // The headline IPC is the weighted estimate — the whole point of
+    // phase weighting — not the unweighted window sum.
+    r.ipc = r.sampling.cpi_mean > 0.0 ? 1.0 / r.sampling.cpi_mean : 0.0;
+    r.wall_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - wall_start)
+                   .count();
+    r.minstr_per_s = r.wall_s > 0.0
+        ? static_cast<double>(pa->covered) / r.wall_s / 1e6
+        : 0.0;
+    return r;
+}
+
+} // namespace
+
 RunResult
 runWorkloadSampled(const SimConfig &cfg, const std::string &workload,
                    const SampleParams &params, u64 budget)
@@ -265,6 +531,9 @@ runWorkloadSampled(const SimConfig &cfg, const std::string &workload,
                "runWorkloadSampled needs a measure window");
     if (budget == 0)
         budget = parseEnvU64("DMT_BENCH_INSTR", 0); // 0 = whole program
+
+    if (params.phaseMode())
+        return runPhaseSampled(cfg, workload, params, budget);
 
     WorkloadCkpts &e = entryFor(workload);
 

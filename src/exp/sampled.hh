@@ -17,6 +17,14 @@
  * (instruction counts; intervals bounds the number of measured windows,
  * 0 or omitted = run to program end / budget).  DMT_CKPT_DIR names a
  * directory where checkpoints persist across invocations.
+ *
+ * DMT_SAMPLE="phase:interval:warm:measure[:maxk[:dims[:seed]]]"
+ * selects phase-aware placement instead (exp/phase.hh): a BBV profile
+ * over fixed `interval`-length slices is clustered into phases, one
+ * warm+measure window runs at each phase representative, and CPI
+ * aggregates by phase weight.  Omitted trailing fields default from
+ * DMT_PHASE_K / DMT_PHASE_DIMS / DMT_PHASE_SEED (env consulted only by
+ * fromEnv(); daemon job specs stay hermetic).
  */
 
 #ifndef DMT_EXP_SAMPLED_HH
@@ -24,6 +32,7 @@
 
 #include <string>
 
+#include "exp/phase.hh"
 #include "exp/runner.hh"
 
 namespace dmt
@@ -32,33 +41,51 @@ namespace dmt
 /** Parsed DMT_SAMPLE knob. */
 struct SampleParams
 {
-    u64 skip = 0;    ///< functional fast-forward per interval
+    /** Window-placement policy. */
+    enum class Mode : u8
+    {
+        Uniform, ///< fixed-stride intervals (SMARTS-style)
+        Phase,   ///< one window per BBV-clustered phase representative
+    };
+
+    Mode mode = Mode::Uniform;
+    u64 skip = 0;    ///< uniform: functional fast-forward per interval
     u64 warm = 0;    ///< detailed instructions with stats detached
     u64 measure = 0; ///< detailed instructions measured
-    u64 max_intervals = 0; ///< 0 = unbounded
+    u64 max_intervals = 0; ///< uniform: 0 = unbounded
+    /** Phase-mode knobs (interval length, cluster bound, projection
+     *  dims, seed); interval > 0 iff mode == Phase. */
+    PhaseParams phase;
 
     /** Sampling is active when a measurement window is configured. */
     bool enabled() const { return measure > 0; }
 
+    bool phaseMode() const { return mode == Mode::Phase; }
+
     /**
-     * Canonical spec string: "skip:warm:measure:intervals", or "off"
-     * when disabled.  This is the sample-spec component of the serve
-     * layer's content-addressed cache key, so it must render
-     * identically for parameter sets that behave identically.
+     * Canonical spec string: "skip:warm:measure:intervals" (uniform),
+     * "phase:interval:warm:measure:maxk:dims:seed" (phase, every field
+     * explicit), or "off" when disabled.  This is the sample-spec
+     * component of the serve layer's content-addressed cache key, so
+     * it must render identically for parameter sets that behave
+     * identically.
      */
     std::string canonicalSpec() const;
 
     /**
-     * Parse "skip:warm:measure[:intervals]" without touching the
-     * process: on garbage, returns false and describes the problem in
-     * @p err (job-spec parsing needs an error reply, not an exit).
-     * An empty string parses as disabled.
+     * Parse "skip:warm:measure[:intervals]" or
+     * "phase:interval:warm:measure[:maxk[:dims[:seed]]]" without
+     * touching the process: on garbage, returns false and describes
+     * the problem in @p err (job-spec parsing needs an error reply,
+     * not an exit).  An empty string parses as disabled.
      */
     static bool parse(std::string_view spec, SampleParams *out,
                       std::string *err);
 
-    /** Parse DMT_SAMPLE ("skip:warm:measure[:intervals]"); garbage is
-     *  fatal() like every other DMT_* knob.  Unset => disabled. */
+    /** Parse DMT_SAMPLE; garbage is fatal() like every other DMT_*
+     *  knob.  Unset => disabled.  For phase specs, trailing fields the
+     *  spec omitted default from DMT_PHASE_K / DMT_PHASE_DIMS /
+     *  DMT_PHASE_SEED (explicit spec fields always win). */
     static SampleParams fromEnv();
 };
 

@@ -1,6 +1,7 @@
 #include "sim/functional_core.hh"
 
 #include "common/log.hh"
+#include "sim/bbv.hh"
 #include "sim/functional.hh"
 
 namespace dmt
@@ -66,7 +67,7 @@ FunctionalCore::run(u64 max_instr)
         if (!translated_)
             translated_ =
                 std::make_unique<TranslatedCore>(prog_, cache_blocks_);
-        const u64 done = translated_->run(state_, mem_, max_instr);
+        const u64 done = translated_->run(state_, mem_, max_instr, bbv_);
         instr_count_ += done;
         return done;
     }
@@ -76,12 +77,23 @@ FunctionalCore::run(u64 max_instr)
 u64
 FunctionalCore::runInterp(u64 max_instr)
 {
+    // Split on the collector once per batch so the common (off) path
+    // compiles with zero per-instruction BBV overhead.
+    return bbv_ ? runInterpImpl<true>(max_instr)
+                : runInterpImpl<false>(max_instr);
+}
+
+template <bool kBbv>
+u64
+FunctionalCore::runInterpImpl(u64 max_instr)
+{
     const Addr text_base = Program::kTextBase;
     const Addr text_end = prog_.textEnd();
     const Instruction *text = prog_.text.data();
     const DecodedOp *dec = decoded_.data();
 
     u64 done = 0;
+    u64 bbv_last = 0; // `done` at the last BBV region boundary
     Addr pc = state_.pc;
     while (done < max_instr && !state_.halted) {
         if (pc < text_base || pc >= text_end || (pc & 3) != 0) {
@@ -116,29 +128,39 @@ FunctionalCore::runInterp(u64 max_instr)
               mem_.write(ea, d.mem_bytes, rt_val);
               break;
           }
-          case OpClass::Control:
-            switch (inst.op) {
-              case Opcode::J:
-                next_pc = inst.jumpTarget();
-                break;
-              case Opcode::JAL:
-                state_.setReg(inst.rd, pc + 4);
-                next_pc = inst.jumpTarget();
-                break;
-              case Opcode::JR:
-                next_pc = rs_val;
-                break;
-              case Opcode::JALR:
-                // Read rs before the (possibly aliasing) link write.
-                next_pc = rs_val;
-                state_.setReg(inst.rd, pc + 4);
-                break;
-              default:
-                if (branchTaken(inst, rs_val, rt_val))
-                    next_pc = inst.branchTarget(pc);
-                break;
-            }
-            break;
+          case OpClass::Control: {
+              bool taken = true; // jumps always transfer
+              switch (inst.op) {
+                case Opcode::J:
+                  next_pc = inst.jumpTarget();
+                  break;
+                case Opcode::JAL:
+                  state_.setReg(inst.rd, pc + 4);
+                  next_pc = inst.jumpTarget();
+                  break;
+                case Opcode::JR:
+                  next_pc = rs_val;
+                  break;
+                case Opcode::JALR:
+                  // Read rs before the (possibly aliasing) link write.
+                  next_pc = rs_val;
+                  state_.setReg(inst.rd, pc + 4);
+                  break;
+                default:
+                  taken = branchTaken(inst, rs_val, rt_val);
+                  if (taken)
+                      next_pc = inst.branchTarget(pc);
+                  break;
+              }
+              // A taken transfer ends a BBV region; the transfer
+              // instruction itself (retired below as done+1) belongs
+              // to the region it ends.  See sim/bbv.hh.
+              if (kBbv && taken) {
+                  bbv_->transfer(next_pc, done + 1 - bbv_last);
+                  bbv_last = done + 1;
+              }
+              break;
+          }
           case OpClass::Other:
             if (inst.op == Opcode::HALT) {
                 state_.halted = true;
@@ -153,6 +175,8 @@ FunctionalCore::runInterp(u64 max_instr)
         ++done;
     }
 
+    if (kBbv)
+        bbv_->flush(done - bbv_last);
     state_.pc = pc;
     instr_count_ += done;
     return done;

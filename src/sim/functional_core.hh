@@ -37,6 +37,8 @@
 namespace dmt
 {
 
+class BbvCollector;
+
 /** Batched functional interpreter over a pre-decoded program. */
 class FunctionalCore
 {
@@ -83,6 +85,15 @@ class FunctionalCore
     /** Rebind the translation-cache bound (drops cached blocks). */
     void setCacheBound(u32 max_blocks);
 
+    /**
+     * Attach (or detach, with nullptr) a BBV collector: subsequent
+     * run() calls report every taken control transfer to it under the
+     * engine-independent contract in sim/bbv.hh.  The collector is not
+     * owned and must outlive the attachment; collection state spans
+     * run() calls, so interval vectors are invariant to chunking.
+     */
+    void setBbv(BbvCollector *bbv) { bbv_ = bbv; }
+
     /** Translation telemetry (zeros while no translated run happened). */
     TranslationStats translationStats() const;
 
@@ -97,6 +108,7 @@ class FunctionalCore
     };
 
     u64 runInterp(u64 max_instr);
+    template <bool kBbv> u64 runInterpImpl(u64 max_instr);
 
     const Program &prog_;
     std::vector<DecodedOp> decoded_;
@@ -105,6 +117,7 @@ class FunctionalCore
     u64 instr_count_ = 0;
     FfMode mode_;
     u32 cache_blocks_;
+    BbvCollector *bbv_ = nullptr;
     /** Lazily built on the first translated-mode run(). */
     std::unique_ptr<TranslatedCore> translated_;
 };

@@ -39,6 +39,7 @@
 #include "common/env.hh"
 #include "common/log.hh"
 #include "common/strutil.hh"
+#include "sim/bbv.hh"
 
 namespace dmt
 {
@@ -522,6 +523,58 @@ TranslatedCore::writePage(MainMemory &mem, Addr ea)
         DISPATCH();                                                    \
     } while (0)
 
+namespace
+{
+
+/** Cold tail of the BBV fast path: write back the engine's cursor,
+ *  run the exact scalar transfer (interval close / first touch) and
+ *  return the refreshed interval room.  Out of line so the expansion
+ *  at every transfer site stays a few instructions. */
+__attribute__((noinline)) u64
+bbvSlowTransfer(BbvCollector *bbv, u64 room, u32 cur_key, u32 key,
+                u64 n)
+{
+    bbv->syncHot(room, cur_key);
+    bbv->transferKey(key, n);
+    return bbv->hotRoom();
+}
+
+} // namespace
+
+/** Report a taken transfer to the BBV collector: the instructions
+ *  retired since the previous boundary fall out of the budget counter
+ *  as a delta, and the region key is computed here, where the ALU
+ *  work hides in the dispatch loop's latency shadow.  A transfer that
+ *  re-enters the current region's key (a loop back to its own head —
+ *  a large share of all transfers) is not reported at all: merging
+ *  contiguous same-key regions is exact, because their histogram
+ *  contributions add and the slow path splits a merged delta at the
+ *  identical boundary position.  The rest run the collector's
+ *  documented hot-path bump (see BbvCollector::hotCounts) on engine
+ *  locals — with the collector off this is one predictable branch per
+ *  transfer, and with it on the dispatch loop only makes a call at
+ *  interval boundaries and first block touches. */
+#define BBV_NOTE(target_expr)                                          \
+    do {                                                               \
+        if (bbv_on) {                                                  \
+            const u32 bkey_ =                                          \
+                BbvCollector::keyForPc((target_expr), bbv_text_size);  \
+            if (bkey_ != bbv_cur_key) {                                \
+                const u64 bn_ = bbv_rem - remaining;                   \
+                const u64 bc_ = bbv_counts[bbv_cur_key];               \
+                if (bn_ < bbv_room && bc_ != 0) {                      \
+                    bbv_counts[bbv_cur_key] = bc_ + bn_;               \
+                    bbv_room -= bn_;                                   \
+                } else {                                               \
+                    bbv_room = bbvSlowTransfer(                        \
+                        bbv, bbv_room, bbv_cur_key, bkey_, bn_);       \
+                }                                                      \
+                bbv_rem = remaining;                                   \
+                bbv_cur_key = bkey_;                                   \
+            }                                                          \
+        }                                                              \
+    } while (0)
+
 /** Retire a taken control transfer through exit `ex`.  The chained
  *  fast path is expanded inline so every handler owns a distinct
  *  indirect-jump site (per-site branch-target history), exactly like
@@ -529,7 +582,9 @@ TranslatedCore::writePage(MainMemory &mem, Addr ea)
  *  out-of-line resolve path. */
 #define TAKE()                                                         \
     do {                                                               \
-        if (--remaining == 0) {                                        \
+        --remaining;                                                   \
+        BBV_NOTE(ex->target_pc);                                       \
+        if (remaining == 0) {                                          \
             final_pc = ex->target_pc;                                  \
             goto done;                                                 \
         }                                                              \
@@ -538,6 +593,21 @@ TranslatedCore::writePage(MainMemory &mem, Addr ea)
             ENTER_CHAIN();                                             \
         }                                                              \
         goto chain_miss;                                               \
+    } while (0)
+
+/** Retire an inlined J/JAL (superblock tail duplication): sequential
+ *  in the translation but an architectural taken transfer, so it is a
+ *  BBV region boundary, with the target PC already folded into aux. */
+#define NEXT_JUMP()                                                    \
+    do {                                                               \
+        --remaining;                                                   \
+        BBV_NOTE(up->aux);                                             \
+        if (remaining == 0) {                                          \
+            final_pc = up->aux;                                        \
+            goto done;                                                 \
+        }                                                              \
+        ++up;                                                          \
+        DISPATCH();                                                    \
     } while (0)
 
 /** Retire an indirect transfer (JR/JALR) to `target`.  The flat
@@ -550,7 +620,9 @@ TranslatedCore::writePage(MainMemory &mem, Addr ea)
  *  this site's exit slot (which exists solely for that hand-off). */
 #define INDIRECT_TAKE()                                                \
     do {                                                               \
-        if (--remaining == 0) {                                        \
+        --remaining;                                                   \
+        BBV_NOTE(target);                                              \
+        if (remaining == 0) {                                          \
             final_pc = target;                                         \
             goto done;                                                 \
         }                                                              \
@@ -574,10 +646,24 @@ TranslatedCore::writePage(MainMemory &mem, Addr ea)
     } while (0)
 
 u64
-TranslatedCore::run(ArchState &state, MainMemory &mem, u64 max_instr)
+TranslatedCore::run(ArchState &state, MainMemory &mem, u64 max_instr,
+                    BbvCollector *bbv)
 {
     if (max_instr == 0 || state.halted)
         return 0;
+
+    // BBV collection state: bbv_rem trails `remaining` at the last
+    // region boundary, so the instruction count of a region falls out
+    // as a subtraction instead of a second hot-loop counter.  The
+    // histogram pointer, interval room and open-region key live in
+    // locals (see BbvCollector::hotCounts) and are written back via
+    // syncHot before any other collector call.
+    const bool bbv_on = bbv != nullptr;
+    u64 bbv_rem = max_instr;
+    const u32 bbv_text_size = static_cast<u32>(prog_.text.size());
+    u64 *const bbv_counts = bbv_on ? bbv->hotCounts() : nullptr;
+    u64 bbv_room = bbv_on ? bbv->hotRoom() : 0;
+    u32 bbv_cur_key = bbv_on ? bbv->currentKey() : 0;
 
     // Architectural registers staged into a flat local array; index
     // kNumLogRegs is a write-only dump standing in for r0
@@ -877,12 +963,12 @@ dispatch_top:
     OP_SYNTH_J_INLINE
     // Direct jump inlined into the superblock (tail duplication):
     // consumes budget like any instruction, aux = target PC.
-    NEXT();
+    NEXT_JUMP();
 
     OP_SYNTH_JAL_INLINE
     // Inlined call: write the link value, keep decoding sequentially.
     regs[up->rd] = up->imm;
-    NEXT();
+    NEXT_JUMP();
 
 #if !DMT_FF_COMPUTED_GOTO
       default:
@@ -923,6 +1009,10 @@ resolve_exit:
     DISPATCH();
 
 done:
+    if (bbv_on) {
+        bbv->syncHot(bbv_room, bbv_cur_key);
+        bbv->flush(bbv_rem - remaining);
+    }
     std::memcpy(state.regs.data(), regs, sizeof(u32) * kNumLogRegs);
     state.pc = final_pc;
     if (halted)
@@ -946,6 +1036,8 @@ done:
 #undef ENTER_SLOT
 #undef ENTER_CHAIN
 #undef NEXT
+#undef NEXT_JUMP
+#undef BBV_NOTE
 #undef TAKE
 #undef INDIRECT_TAKE
 

@@ -52,6 +52,8 @@
 namespace dmt
 {
 
+class BbvCollector;
+
 /** Fast-forward execution engine selection (DMT_FF_MODE). */
 enum class FfMode : u8
 {
@@ -116,9 +118,19 @@ class TranslatedCore
      * Execute up to @p max_instr instructions from state.pc, exactly
      * like stepping functionalStep(); stops early at HALT or when the
      * PC leaves the text segment.
+     *
+     * With @p bbv attached, every taken control transfer — block-exit
+     * jumps and branches plus the J/JAL ops inlined into superblocks —
+     * reports (target, instructions since the previous boundary) to
+     * the collector, and the trailing run is flushed on exit; see
+     * sim/bbv.hh for the cross-engine contract.  Collection is a
+     * per-transfer delta off the existing budget counter, so the
+     * per-instruction dispatch path is untouched.
+     *
      * @return instructions actually executed.
      */
-    u64 run(ArchState &state, MainMemory &mem, u64 max_instr);
+    u64 run(ArchState &state, MainMemory &mem, u64 max_instr,
+            BbvCollector *bbv = nullptr);
 
     const TranslationStats &stats() const { return stats_; }
 

@@ -17,6 +17,7 @@
 
 #include "common/env.hh"
 #include "exp/runner.hh"
+#include "exp/sampled.hh"
 #include "serve/faultnet.hh"
 #include "serve/server.hh"
 #include "sim/translated_core.hh"
@@ -227,6 +228,152 @@ clearFaultNetEnv()
 }
 
 } // namespace
+
+// ---------------------------------------------------------------------
+// DMT_SAMPLE spec parsing: the strict non-fatal SampleParams::parse()
+// layer the daemon relies on, the canonical rendering that feeds the
+// serve cache key, and the DMT_PHASE_* defaults that only fromEnv()
+// may consult.
+// ---------------------------------------------------------------------
+
+TEST(SampleSpec, PhaseParsesAndCanonicalizes)
+{
+    SampleParams p;
+    std::string err;
+    ASSERT_TRUE(SampleParams::parse("phase:20000:500:1500", &p, &err))
+        << err;
+    EXPECT_TRUE(p.phaseMode());
+    EXPECT_TRUE(p.enabled());
+    EXPECT_EQ(p.phase.interval, 20000u);
+    EXPECT_EQ(p.warm, 500u);
+    EXPECT_EQ(p.measure, 1500u);
+    EXPECT_EQ(p.phase.max_k, 8u) << "documented default";
+    EXPECT_EQ(p.phase.dims, 16u);
+    EXPECT_EQ(p.phase.seed, 42u);
+    // Canonical form is always fully explicit: two specs that behave
+    // identically must render identical cache keys.
+    EXPECT_EQ(p.canonicalSpec(), "phase:20000:500:1500:8:16:42");
+
+    SampleParams q;
+    ASSERT_TRUE(SampleParams::parse("phase:1:2:3:4:5:6", &q, &err))
+        << err;
+    EXPECT_EQ(q.phase.max_k, 4u);
+    EXPECT_EQ(q.phase.dims, 5u);
+    EXPECT_EQ(q.phase.seed, 6u);
+    EXPECT_EQ(q.canonicalSpec(), "phase:1:2:3:4:5:6");
+
+    // Canonical specs round-trip through parse unchanged.
+    SampleParams r;
+    ASSERT_TRUE(SampleParams::parse(p.canonicalSpec(), &r, &err)) << err;
+    EXPECT_EQ(r.canonicalSpec(), p.canonicalSpec());
+
+    // Uniform specs keep their own canonical shape, and disabled
+    // renders as "off".
+    SampleParams u;
+    ASSERT_TRUE(SampleParams::parse("1000:200:300", &u, &err)) << err;
+    EXPECT_FALSE(u.phaseMode());
+    EXPECT_EQ(u.canonicalSpec(), "1000:200:300:0");
+    EXPECT_EQ(SampleParams{}.canonicalSpec(), "off");
+    SampleParams off;
+    ASSERT_TRUE(SampleParams::parse("", &off, &err)) << err;
+    EXPECT_FALSE(off.enabled());
+}
+
+TEST(SampleSpec, PhaseRejectionsAreStructuredErrors)
+{
+    const struct
+    {
+        const char *spec;
+        const char *needle; ///< must appear in the error message
+    } cases[] = {
+        {"phase:1:2", "phase:interval:warm:measure"},
+        {"phase:1:2:3:4:5:6:7", "phase:interval:warm:measure"},
+        {"phase:1x:2:3", "bad sample spec field"},
+        {"phase:1:2:3x", "bad sample spec field"},
+        {"phase:0:2:3", "interval length must be > 0"},
+        {"phase:100:5:0", "measure window must be > 0"},
+        {"phase:100:5:10:0", "maxk must be 1..64"},
+        {"phase:100:5:10:65", "maxk must be 1..64"},
+        {"phase:100:5:10:8:0", "dims must be 1..256"},
+        {"phase:100:5:10:8:257", "dims must be 1..256"},
+    };
+    for (const auto &c : cases) {
+        SampleParams p;
+        std::string err;
+        EXPECT_FALSE(SampleParams::parse(c.spec, &p, &err)) << c.spec;
+        EXPECT_NE(err.find(c.needle), std::string::npos)
+            << c.spec << " -> \"" << err << "\"";
+    }
+
+    // A null err sink must be tolerated (callers that only branch).
+    SampleParams p;
+    EXPECT_FALSE(SampleParams::parse("phase:0:1:2", &p, nullptr));
+}
+
+TEST(SampleEnv, PhaseKnobsFillOnlyOmittedFields)
+{
+    setenv("DMT_PHASE_K", "5", 1);
+    setenv("DMT_PHASE_DIMS", "32", 1);
+    setenv("DMT_PHASE_SEED", "7", 1);
+
+    setenv("DMT_SAMPLE", "phase:20000:500:1500", 1);
+    SampleParams p = SampleParams::fromEnv();
+    EXPECT_EQ(p.phase.max_k, 5u);
+    EXPECT_EQ(p.phase.dims, 32u);
+    EXPECT_EQ(p.phase.seed, 7u);
+
+    // An explicit spec field always beats its env default.
+    setenv("DMT_SAMPLE", "phase:20000:500:1500:9", 1);
+    p = SampleParams::fromEnv();
+    EXPECT_EQ(p.phase.max_k, 9u);
+    EXPECT_EQ(p.phase.dims, 32u);
+    EXPECT_EQ(p.phase.seed, 7u);
+
+    setenv("DMT_SAMPLE", "phase:20000:500:1500:9:8:1", 1);
+    p = SampleParams::fromEnv();
+    EXPECT_EQ(p.phase.max_k, 9u);
+    EXPECT_EQ(p.phase.dims, 8u);
+    EXPECT_EQ(p.phase.seed, 1u);
+
+    // The env knobs never touch uniform specs or direct parse() calls.
+    setenv("DMT_SAMPLE", "1000:200:300", 1);
+    p = SampleParams::fromEnv();
+    EXPECT_FALSE(p.phaseMode());
+    std::string err;
+    ASSERT_TRUE(
+        SampleParams::parse("phase:20000:500:1500", &p, &err)) << err;
+    EXPECT_EQ(p.phase.max_k, 8u)
+        << "parse() must stay hermetic for daemon job specs";
+
+    unsetenv("DMT_SAMPLE");
+    unsetenv("DMT_PHASE_K");
+    unsetenv("DMT_PHASE_DIMS");
+    unsetenv("DMT_PHASE_SEED");
+}
+
+TEST(SampleEnvDeath, PhaseGarbageAndRangeAreFatal)
+{
+    setenv("DMT_SAMPLE", "phase:abc:1:2", 1);
+    EXPECT_DEATH(SampleParams::fromEnv(), "DMT_SAMPLE");
+    setenv("DMT_SAMPLE", "phase:0:1:2", 1);
+    EXPECT_DEATH(SampleParams::fromEnv(), "interval length");
+    setenv("DMT_SAMPLE", "phase:100:5:10:99", 1);
+    EXPECT_DEATH(SampleParams::fromEnv(), "maxk");
+
+    setenv("DMT_SAMPLE", "phase:20000:500:1500", 1);
+    setenv("DMT_PHASE_K", "5x", 1);
+    EXPECT_DEATH(SampleParams::fromEnv(), "DMT_PHASE_K");
+    setenv("DMT_PHASE_K", "0", 1);
+    EXPECT_DEATH(SampleParams::fromEnv(), "out of range");
+    unsetenv("DMT_PHASE_K");
+    setenv("DMT_PHASE_DIMS", "257", 1);
+    EXPECT_DEATH(SampleParams::fromEnv(), "out of range");
+    unsetenv("DMT_PHASE_DIMS");
+    setenv("DMT_PHASE_SEED", "4two", 1);
+    EXPECT_DEATH(SampleParams::fromEnv(), "DMT_PHASE_SEED");
+    unsetenv("DMT_PHASE_SEED");
+    unsetenv("DMT_SAMPLE");
+}
 
 TEST(ServeEnv, DefaultsWhenUnset)
 {
